@@ -1,0 +1,89 @@
+// Command dtmsim runs one benchmark under one DTM policy and prints the
+// run's performance and thermal metrics: the interactive front end to the
+// reproduction (cmd/tables regenerates the paper's tables in bulk).
+//
+// Usage:
+//
+//	dtmsim -bench gcc -policy PI -insts 2000000
+//	dtmsim -bench all -policy toggle1
+//	dtmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark name, or 'all'")
+		policy    = flag.String("policy", "none", "DTM policy: none, toggle1, toggle2, M, P, PI, PID, throttle, specctl, fscale, vfscale")
+		insts     = flag.Uint64("insts", 2_000_000, "committed instructions to simulate")
+		setpoint  = flag.Float64("setpoint", 0, "override controller setpoint (0 = paper default)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		trace     = flag.Uint64("trace", 0, "emit temperature/duty trace every N cycles")
+		verbose   = flag.Bool("v", false, "print per-block detail")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range bench.All() {
+			fmt.Printf("%-10s %s\n", p.Name, bench.CategoryOf(p.Name))
+		}
+		return
+	}
+
+	var names []string
+	if *benchName == "all" {
+		for _, p := range bench.All() {
+			names = append(names, p.Name)
+		}
+	} else {
+		names = []string{*benchName}
+	}
+
+	for _, name := range names {
+		prof, err := bench.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := sim.Config{
+			Workload:    prof,
+			MaxInsts:    *insts,
+			TraceStride: *trace,
+		}
+		if err := bench.ApplyPolicy(&cfg, *policy, *setpoint); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s policy=%-8s IPC=%5.3f avgP=%5.1fW maxP=%5.1fW duty=%4.2f emerg=%s stress=%s stalls=%d\n",
+			res.Benchmark, res.Policy, res.IPC, res.AvgChipPower, res.MaxChipPower,
+			res.AvgDuty, pct(res.EmergencyFrac()), pct(res.StressFrac()), res.StallCycles)
+		if *verbose {
+			for _, b := range res.Blocks {
+				fmt.Printf("    %-8s avgT=%7.3f maxT=%7.3f emerg=%s stress=%s\n",
+					b.Name, b.AvgTemp, b.MaxTemp,
+					pct(float64(b.EmergencyCycles)/float64(res.Cycles)),
+					pct(float64(b.StressCycles)/float64(res.Cycles)))
+			}
+		}
+		if *trace > 0 {
+			fmt.Println("cycle,temp_hottest,duty")
+			for i := range res.TempTrace.Xs {
+				fmt.Printf("%d,%.4f,%.4f\n", res.TempTrace.Xs[i], res.TempTrace.Ys[i], res.DutyTrace.Ys[i])
+			}
+		}
+	}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%6.2f%%", f*100) }

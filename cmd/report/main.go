@@ -1,0 +1,138 @@
+// Command report regenerates the full reproduction bundle into a
+// directory: every table as text, the headline figures as SVG, and a
+// REPORT.md tying them together. It is the scripted equivalent of running
+// cmd/tables and cmd/traces by hand.
+//
+//	report -out results -insts 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		insts = flag.Uint64("insts", 1_000_000, "committed instructions per run")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	p := experiments.DefaultParams()
+	p.Insts = *insts
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "# Reproduction report\n\nGenerated %s at %d instructions/run.\n\n",
+		time.Now().Format(time.RFC3339), *insts)
+
+	writeTable := func(name, title string, t *stats.Table) {
+		path := filepath.Join(*out, name+".txt")
+		if err := os.WriteFile(path, []byte(t.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", title, t.String())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	writeTable("table02_config", "Table 2 — machine configuration", experiments.Table2())
+	writeTable("table03_thermal", "Table 3 — thermal parameters", experiments.Table3())
+	writeTable("table05_categories", "Table 5 — thermal categories", experiments.Table5())
+
+	fmt.Fprintln(os.Stderr, "running uncontrolled baseline suite...")
+	base, err := experiments.Baseline(p)
+	if err != nil {
+		fatal(err)
+	}
+	writeTable("table04_characterization", "Table 4 — characterization", experiments.Table4(base))
+	writeTable("table06_per_structure", "Table 6 — per-structure temperatures", experiments.Table6(base))
+	writeTable("table07_emergency", "Table 7 — per-structure emergency residency", experiments.Table7(base))
+	writeTable("table08_stress", "Table 8 — per-structure stress residency", experiments.Table8(base))
+
+	fmt.Fprintln(os.Stderr, "running proxy comparison...")
+	ps, cw, err := experiments.ProxyTables(p, nil)
+	if err != nil {
+		fatal(err)
+	}
+	writeTable("table09_proxy_struct", "Table 9 — per-structure boxcar proxy", ps)
+	writeTable("table10_proxy_chip", "Table 10 — chip-wide boxcar proxy", cw)
+
+	fmt.Fprintln(os.Stderr, "running policy evaluation...")
+	ev, err := experiments.RunPolicyEval(p)
+	if err != nil {
+		fatal(err)
+	}
+	writeTable("table11_policies", "Table 11 — DTM policy evaluation", ev.Table11())
+	writeTable("table12_headline", "Table 12 — headline aggregate", ev.Table12())
+
+	fmt.Fprintln(os.Stderr, "rendering figures...")
+	for _, fig := range []struct{ benchName, policy string }{
+		{"gcc", "none"}, {"gcc", "toggle1"}, {"gcc", "PI"}, {"art", "none"},
+	} {
+		res, err := experiments.Trace(p, fig.benchName, fig.policy, 2000)
+		if err != nil {
+			fatal(err)
+		}
+		xs := make([]float64, len(res.TempTrace.Xs))
+		for i, c := range res.TempTrace.Xs {
+			xs[i] = float64(c)
+		}
+		duty := make([]float64, len(res.DutyTrace.Ys))
+		for i, d := range res.DutyTrace.Ys {
+			duty[i] = 100 + d*11.5
+		}
+		svg := viz.LineChart(viz.ChartConfig{
+			Title:  fmt.Sprintf("%s under %s", res.Benchmark, res.Policy),
+			XLabel: "cycle", YLabel: "temperature (C)",
+			HLines: map[string]float64{"emergency D": bench.EmergencyTemp, "trigger": bench.NonCTTrigger},
+		},
+			viz.Series{Name: "hottest block", Xs: xs, Ys: res.TempTrace.Ys},
+			viz.Series{Name: "duty (scaled)", Xs: xs, Ys: duty})
+		name := fmt.Sprintf("trace_%s_%s.svg", fig.benchName, fig.policy)
+		if err := os.WriteFile(filepath.Join(*out, name), []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(&md, "![%s](%s)\n\n", name, name)
+
+		temps := map[floorplan.BlockID]float64{}
+		for _, b := range res.Blocks {
+			for _, id := range floorplan.Blocks() {
+				if id.String() == b.Name {
+					temps[id] = b.MaxTemp
+				}
+			}
+		}
+		heat := viz.FloorplanHeatmap(viz.HeatmapConfig{
+			Title:  fmt.Sprintf("%s/%s peak temperatures (C)", fig.benchName, fig.policy),
+			TempLo: 100, TempHi: 114,
+			Marks: map[string]float64{"D": bench.EmergencyTemp},
+		}, floorplan.DefaultLayout(), temps)
+		hname := fmt.Sprintf("heat_%s_%s.svg", fig.benchName, fig.policy)
+		if err := os.WriteFile(filepath.Join(*out, hname), []byte(heat), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(&md, "![%s](%s)\n\n", hname, hname)
+	}
+
+	if err := os.WriteFile(filepath.Join(*out, "REPORT.md"), []byte(md.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "report complete: %s/REPORT.md\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

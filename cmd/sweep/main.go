@@ -1,0 +1,109 @@
+// Command sweep runs one-dimensional parameter sweeps around the paper's
+// operating point and emits CSV — the raw material for the sensitivity
+// discussions in Sections 2.1 (trigger level, policy delay) and 5.3
+// (sampling interval, setpoint).
+//
+//	sweep -param setpoint -bench gcc -policy PI
+//	sweep -param interval -bench gcc -policy PID
+//	sweep -param delay    -bench gcc            # toggle1 policy delay
+//	sweep -param trigger  -bench gcc            # toggle1 trigger level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dtm"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		param     = flag.String("param", "setpoint", "setpoint | interval | delay | trigger")
+		benchName = flag.String("bench", "gcc", "benchmark")
+		policy    = flag.String("policy", "PI", "controller for setpoint/interval sweeps")
+		insts     = flag.Uint64("insts", 1_000_000, "committed instructions per point")
+	)
+	flag.Parse()
+
+	prof, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := sim.Run(sim.Config{Workload: prof, MaxInsts: *insts})
+	if err != nil {
+		fatal(err)
+	}
+
+	type point struct {
+		label string
+		cfg   sim.Config
+	}
+	var points []point
+	mk := func(label string, mut func(*sim.Config) error) {
+		cfg := sim.Config{Workload: prof, MaxInsts: *insts}
+		if err := mut(&cfg); err != nil {
+			fatal(err)
+		}
+		points = append(points, point{label, cfg})
+	}
+
+	switch *param {
+	case "setpoint":
+		for _, sp := range []float64{110.3, 110.6, 110.9, 111.0, 111.1, 111.2} {
+			sp := sp
+			mk(fmt.Sprintf("%.1f", sp), func(c *sim.Config) error {
+				return bench.ApplyPolicy(c, *policy, sp)
+			})
+		}
+	case "interval":
+		for _, iv := range []uint64{250, 500, 1000, 2000, 4000, 8000, 16000} {
+			iv := iv
+			mk(fmt.Sprintf("%d", iv), func(c *sim.Config) error {
+				if err := bench.ApplyPolicy(c, *policy, 0); err != nil {
+					return err
+				}
+				c.Manager.Interval = iv
+				return nil
+			})
+		}
+	case "delay":
+		for _, d := range []int{0, 1, 2, 5, 10, 20, 50, 100} {
+			d := d
+			mk(fmt.Sprintf("%d", d), func(c *sim.Config) error {
+				c.Manager = dtm.NewManager(dtm.NewToggle1(bench.NonCTTrigger, d))
+				return nil
+			})
+		}
+	case "trigger":
+		for _, tr := range []float64{109.3, 109.8, 110.3, 110.8, 111.0, 111.2} {
+			tr := tr
+			mk(fmt.Sprintf("%.1f", tr), func(c *sim.Config) error {
+				c.Manager = dtm.NewManager(dtm.NewToggle1(tr, bench.PolicyDelaySamples))
+				return nil
+			})
+		}
+	default:
+		fatal(fmt.Errorf("unknown parameter %q", *param))
+	}
+
+	fmt.Printf("%s,ipc,pct_of_base,emerg_pct,stress_pct,avg_duty,engagements\n", *param)
+	for _, pt := range points {
+		res, err := sim.Run(pt.cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s,%.4f,%.2f,%.3f,%.3f,%.3f,%d\n",
+			pt.label, res.IPC, 100*res.IPC/base.IPC,
+			100*res.EmergencyFrac(), 100*res.StressFrac(),
+			res.AvgDuty, res.Engagements)
+	}
+	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergencyFrac())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

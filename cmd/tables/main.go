@@ -1,0 +1,111 @@
+// Command tables regenerates the paper's tables (see DESIGN.md for the
+// experiment index). With no flags it prints every table; -table selects
+// one.
+//
+//	tables                 # everything (several minutes)
+//	tables -table 4        # benchmark characterization only
+//	tables -insts 500000   # quicker, lower-fidelity runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "table number to regenerate (0 = all)")
+		insts = flag.Uint64("insts", 2_000_000, "committed instructions per run")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Insts = *insts
+
+	want := func(n int) bool { return *table == 0 || *table == n }
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	banner := func(n int, title string) {
+		fmt.Printf("\n=== Table %d: %s ===\n", n, title)
+	}
+
+	if want(2) {
+		banner(2, "simulated processor configuration")
+		fmt.Print(experiments.Table2())
+	}
+	if want(3) {
+		banner(3, "per-structure thermal parameters")
+		fmt.Print(experiments.Table3())
+	}
+	if want(5) {
+		banner(5, "thermal categories")
+		fmt.Print(experiments.Table5())
+	}
+
+	var base []*sim.Result
+	needBase := want(4) || want(6) || want(7) || want(8)
+	if needBase {
+		start := time.Now()
+		var err error
+		base, err = experiments.Baseline(p)
+		die(err)
+		fmt.Fprintf(os.Stderr, "baseline suite: %v\n", time.Since(start))
+	}
+	if want(4) {
+		banner(4, "benchmark characterization (no DTM)")
+		fmt.Print(experiments.Table4(base))
+	}
+	if want(6) {
+		banner(6, "per-structure avg/max temperature (C)")
+		fmt.Print(experiments.Table6(base))
+	}
+	if want(7) {
+		banner(7, "per-structure cycles in thermal emergency (> D)")
+		fmt.Print(experiments.Table7(base))
+	}
+	if want(8) {
+		banner(8, "per-structure cycles in thermal stress (> D-1)")
+		fmt.Print(experiments.Table8(base))
+	}
+	if want(9) || want(10) {
+		ps, cw, err := experiments.ProxyTables(p, nil)
+		die(err)
+		if want(9) {
+			banner(9, "per-structure boxcar power proxy vs RC model")
+			fmt.Print(ps)
+		}
+		if want(10) {
+			banner(10, "chip-wide boxcar power proxy vs RC model")
+			fmt.Print(cw)
+		}
+	}
+	if want(11) || want(12) {
+		start := time.Now()
+		ev, err := experiments.RunPolicyEval(p)
+		die(err)
+		fmt.Fprintf(os.Stderr, "policy evaluation: %v\n", time.Since(start))
+		if want(11) {
+			banner(11, "DTM policy evaluation: % of non-DTM IPC (emergency residency)")
+			fmt.Print(ev.Table11())
+		}
+		if want(12) {
+			banner(12, "headline aggregate (Section 7)")
+			fmt.Print(ev.Table12())
+		}
+	}
+	if want(13) {
+		t, err := experiments.SetpointStudy(p)
+		die(err)
+		banner(13, "PI/PID setpoint sensitivity")
+		fmt.Print(t)
+	}
+}

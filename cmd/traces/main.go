@@ -1,0 +1,107 @@
+// Command traces emits the time series behind the paper's figures:
+// per-block temperature and fetch duty over time for one benchmark under
+// one DTM policy, as CSV on stdout, or as rendered SVG figures.
+//
+//	traces -bench gcc -policy PI -insts 2000000 > gcc_pi.csv
+//	traces -bench gcc -policy PI -svg gcc_pi.svg        # temperature/duty chart
+//	traces -bench gcc -heatmap gcc_hot.svg              # floorplan peak-temp map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "gcc", "benchmark")
+		policy    = flag.String("policy", "PI", "DTM policy")
+		insts     = flag.Uint64("insts", 2_000_000, "committed instructions")
+		stride    = flag.Uint64("stride", 5000, "cycles between samples")
+		svgPath   = flag.String("svg", "", "write a temperature/duty SVG chart to this file")
+		heatPath  = flag.String("heatmap", "", "write a floorplan peak-temperature SVG to this file")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Insts = *insts
+	res, err := experiments.Trace(p, *benchName, *policy, *stride)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *svgPath != "" {
+		xs := make([]float64, len(res.TempTrace.Xs))
+		for i, c := range res.TempTrace.Xs {
+			xs[i] = float64(c)
+		}
+		temp := viz.Series{Name: "hottest block (C)", Xs: xs, Ys: res.TempTrace.Ys}
+		// Scale duty into the thermal band so both series share an axis.
+		duty := viz.Series{Name: "fetch duty (100=off..111.5=full)", Xs: xs, Ys: make([]float64, len(res.DutyTrace.Ys))}
+		for i, d := range res.DutyTrace.Ys {
+			duty.Ys[i] = 100 + d*11.5
+		}
+		svg := viz.LineChart(viz.ChartConfig{
+			Title:  fmt.Sprintf("%s under %s", res.Benchmark, res.Policy),
+			XLabel: "cycle",
+			YLabel: "temperature (C)",
+			HLines: map[string]float64{
+				"emergency D": bench.EmergencyTemp,
+				"trigger":     bench.NonCTTrigger,
+			},
+		}, temp, duty)
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+
+	if *heatPath != "" {
+		temps := map[floorplan.BlockID]float64{}
+		for _, b := range res.Blocks {
+			for _, id := range floorplan.Blocks() {
+				if id.String() == b.Name {
+					temps[id] = b.MaxTemp
+				}
+			}
+		}
+		svg := viz.FloorplanHeatmap(viz.HeatmapConfig{
+			Title:  fmt.Sprintf("%s peak temperatures under %s (C)", res.Benchmark, res.Policy),
+			TempLo: 100,
+			TempHi: 114,
+			Marks:  map[string]float64{"D": bench.EmergencyTemp, "D-1": bench.NonCTTrigger},
+		}, floorplan.DefaultLayout(), temps)
+		if err := os.WriteFile(*heatPath, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *heatPath)
+	}
+
+	if *svgPath == "" && *heatPath == "" {
+		fmt.Print("cycle,hottest,duty")
+		for _, b := range res.Blocks {
+			fmt.Printf(",%s", b.Name)
+		}
+		fmt.Println()
+		for i := range res.TempTrace.Xs {
+			fmt.Printf("%d,%.4f,%.4f", res.TempTrace.Xs[i], res.TempTrace.Ys[i], res.DutyTrace.Ys[i])
+			for _, s := range res.BlockTrace {
+				fmt.Printf(",%.4f", s.Ys[i])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s under %s: IPC=%.3f emerg=%.2f%% avg duty=%.2f\n",
+		res.Benchmark, res.Policy, res.IPC, 100*res.EmergencyFrac(), res.AvgDuty)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

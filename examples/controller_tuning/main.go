@@ -1,0 +1,77 @@
+// Controller tuning walk-through: build the thermal plant of Section 3.2
+// from the floorplan, tune P/PI/PD/PID controllers by phase-margin design,
+// and compare their closed-loop step responses (settling time, overshoot,
+// retained duty) — the analysis the paper alludes to with "controllers can
+// be designed with guaranteed settling times".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/control"
+)
+
+func main() {
+	plant := bench.Plant()
+	fmt.Printf("plant: K=%.1f K/duty, tau=%.0f us, delay=%.0f ns\n\n",
+		plant.K, plant.Tau*1e6, plant.Delay*1e9)
+
+	const (
+		setpoint  = 111.1
+		emergency = 111.3
+		sink      = 100.0
+		ts        = 667e-9
+	)
+
+	fmt.Printf("%-5s %-28s %-12s %-10s %-10s %s\n",
+		"kind", "gains (Kp, Ki, Kd)", "phase margin", "settle", "overshoot", "mean duty")
+	for _, kind := range []control.Kind{control.KindP, control.KindPI, control.KindPD, control.KindPID} {
+		g, err := control.Tune(plant, control.Spec{Kind: kind})
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		pm, _, err := control.OpenLoopPhaseMargin(plant, g)
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		ctl := control.NewPID(g, setpoint, 0.2, ts)
+		tr := control.SimulateLoop(plant, ctl, control.LoopConfig{
+			Ambient:  sink,
+			Duration: 5e-3,
+			Levels:   8, // the paper's 8 discrete toggling settings
+		})
+		settle := tr.SettlingTime(setpoint, 0.15)
+		fmt.Printf("%-5v Kp=%6.2f Ki=%9.0f Kd=%7.1e  %6.1f deg   %7.2f us  %6.3f C   %.3f\n",
+			kind, g.Kp, g.Ki, g.Kd, pm*180/3.141592653589793,
+			settle*1e6, tr.Overshoot(setpoint), tr.MeanDuty())
+		if hot := tr.MaxTemp(); hot > emergency {
+			fmt.Printf("      WARNING: %v exceeded the emergency threshold (%.3f C)\n", kind, hot)
+		}
+	}
+
+	// Demonstrate the integral-windup hazard of Section 3.3: a long cool
+	// period followed by a hot burst, with and without anti-windup.
+	fmt.Println("\nintegral windup (PI, cool 2 ms then full demand):")
+	demand := func(t float64) float64 {
+		if t < 2e-3 {
+			return 0.05
+		}
+		return 1.0
+	}
+	for _, disable := range []bool{false, true} {
+		g := control.MustTune(plant, control.Spec{Kind: control.KindPI})
+		ctl := control.NewPID(g, setpoint, 0.2, ts)
+		ctl.DisableAntiWindup = disable
+		tr := control.SimulateLoop(plant, ctl, control.LoopConfig{
+			Ambient: sink, Duration: 6e-3, Demand: demand,
+		})
+		label := "with anti-windup"
+		if disable {
+			label = "without anti-windup"
+		}
+		fmt.Printf("  %-20s max temp %.3f C, overshoot %.3f C\n",
+			label, tr.MaxTemp(), tr.Overshoot(setpoint))
+	}
+}

@@ -1,0 +1,53 @@
+// DTM comparison: run a slice of the benchmark suite under every thermal
+// management mechanism — the fixed baselines (toggle1, toggle2), the
+// hand-built proportional controller M, the control-theoretic P/PI/PID
+// policies, and the scaling backups — and print percent-of-baseline
+// performance next to emergency residency (the Section 7 evaluation in
+// miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	benchmarks := []string{"gcc", "mesa", "equake", "art"}
+	policies := []string{"toggle1", "toggle2", "M", "P", "PI", "PID", "fscale"}
+	const insts = 1_500_000
+
+	for _, name := range benchmarks {
+		prof, err := bench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := sim.Run(sim.Config{Workload: prof, MaxInsts: insts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (baseline IPC %.3f, %.1f%% emergency, category %s)\n",
+			name, base.IPC, 100*base.EmergencyFrac(), bench.CategoryOf(name))
+		for _, pol := range policies {
+			cfg := sim.Config{Workload: prof, MaxInsts: insts}
+			if err := bench.ApplyPolicy(&cfg, pol, 0); err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perf := 100 * res.IPC / base.IPC
+			if pol == "fscale" {
+				// Scaling changes the clock, so compare wall-clock
+				// throughput instead of IPC.
+				perf = 100 * res.InstsPerSecond() / base.InstsPerSecond()
+			}
+			fmt.Printf("  %-8s %6.1f%% of baseline, emergency %5.2f%%, mean duty %.2f, stalls %d\n",
+				pol, perf, 100*res.EmergencyFrac(), res.AvgDuty, res.StallCycles)
+		}
+		fmt.Println()
+	}
+}

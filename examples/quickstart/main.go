@@ -1,0 +1,46 @@
+// Quickstart: simulate one benchmark with and without control-theoretic
+// DTM and print the headline comparison — the smallest end-to-end use of
+// the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	prof, err := bench.ByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const insts = 1_000_000
+
+	// 1. Uncontrolled baseline: how hot does gcc run?
+	base, err := sim.Run(sim.Config{Workload: prof, MaxInsts: insts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline:  IPC %.3f, %5.1f W avg, %.1f%% of cycles in thermal emergency\n",
+		base.IPC, base.AvgChipPower, 100*base.EmergencyFrac())
+
+	// 2. The same run under a tuned PI controller driving fetch toggling.
+	cfg := sim.Config{Workload: prof, MaxInsts: insts}
+	if err := bench.ApplyPolicy(&cfg, "PI", 0); err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PI-DTM:    IPC %.3f (%.1f%% of baseline), %.1f%% emergency, mean duty %.2f\n",
+		ctl.IPC, 100*ctl.IPC/base.IPC, 100*ctl.EmergencyFrac(), ctl.AvgDuty)
+
+	// 3. Where was the hot spot?
+	fmt.Println("\nper-structure maxima (baseline):")
+	for _, b := range base.Blocks {
+		fmt.Printf("  %-8s max %.2f C\n", b.Name, b.MaxTemp)
+	}
+}

@@ -1,0 +1,126 @@
+package control
+
+import (
+	"errors"
+	"math"
+)
+
+// This file provides the frequency-domain analysis companions to the
+// tuning procedure: open-loop Bode sampling and the gain margin, the two
+// classical robustness views behind Section 3.2's claim that the
+// controllers "remain largely unaffected even when the controlled system
+// has not been accurately modeled".
+
+// BodePoint is one open-loop frequency sample.
+type BodePoint struct {
+	Omega float64 // rad/s
+	// MagDB is the loop magnitude |C(jw)G(jw)| in decibels.
+	MagDB float64
+	// PhaseDeg is the loop phase in degrees.
+	PhaseDeg float64
+}
+
+// loopResponse returns magnitude and phase (radians) of C(jw)G(jw).
+func loopResponse(p Plant, g Gains, w float64) (mag, phase float64) {
+	gm, gp := p.FreqResponse(w)
+	re := g.Kp
+	im := g.Kd*w - g.Ki/w
+	return gm * math.Hypot(re, im), gp + math.Atan2(im, re)
+}
+
+// Bode samples the open loop logarithmically from wLo to wHi with n points
+// per decade.
+func Bode(p Plant, g Gains, wLo, wHi float64, perDecade int) []BodePoint {
+	if wLo <= 0 || wHi <= wLo || perDecade < 1 {
+		panic("control: invalid Bode range")
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	var out []BodePoint
+	for w := wLo; w <= wHi*(1+1e-12); w *= step {
+		mag, phase := loopResponse(p, g, w)
+		out = append(out, BodePoint{
+			Omega:    w,
+			MagDB:    20 * math.Log10(mag),
+			PhaseDeg: phase * 180 / math.Pi,
+		})
+	}
+	return out
+}
+
+// GainMargin returns the factor by which the loop gain can grow before
+// instability: 1/|L(jw180)| at the phase-crossover frequency (where the
+// loop phase first crosses -180 degrees), along with that frequency.
+// It returns an error when no phase crossover exists in the searched range
+// (infinite gain margin for a first-order loop without delay).
+func GainMargin(p Plant, g Gains) (margin, w180 float64, err error) {
+	if p.Delay <= 0 && g.Kd == 0 {
+		// Phase asymptotically above -180: infinite margin.
+		return math.Inf(1), 0, nil
+	}
+	lo := 1e-3 / p.Tau
+	hi := 1e3 / p.Tau
+	if p.Delay > 0 {
+		hi = 50 / p.Delay
+	}
+	phaseAt := func(w float64) float64 {
+		_, ph := loopResponse(p, g, w)
+		return ph
+	}
+	// Scan for the first crossing below -pi.
+	prevW := lo
+	prevPh := phaseAt(lo)
+	found := false
+	for w := lo * 1.05; w <= hi; w *= 1.05 {
+		ph := phaseAt(w)
+		if prevPh > -math.Pi && ph <= -math.Pi {
+			// Bisect [prevW, w].
+			a, b := prevW, w
+			for i := 0; i < 80; i++ {
+				mid := math.Sqrt(a * b)
+				if phaseAt(mid) > -math.Pi {
+					a = mid
+				} else {
+					b = mid
+				}
+			}
+			w180 = math.Sqrt(a * b)
+			found = true
+			break
+		}
+		prevW, prevPh = w, ph
+	}
+	if !found {
+		return 0, 0, errors.New("control: no phase crossover in range")
+	}
+	mag, _ := loopResponse(p, g, w180)
+	if mag <= 0 {
+		return math.Inf(1), w180, nil
+	}
+	return 1 / mag, w180, nil
+}
+
+// RobustnessReport summarizes a tuned loop's stability margins.
+type RobustnessReport struct {
+	PhaseMarginDeg float64
+	CrossoverHz    float64
+	GainMargin     float64
+	PhaseCrossHz   float64
+}
+
+// Analyze computes both stability margins for a tuned loop.
+func Analyze(p Plant, g Gains) (RobustnessReport, error) {
+	pm, wc, err := OpenLoopPhaseMargin(p, g)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	gm, w180, err := GainMargin(p, g)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	return RobustnessReport{
+		PhaseMarginDeg: pm * 180 / math.Pi,
+		CrossoverHz:    wc / (2 * math.Pi),
+		GainMargin:     gm,
+		PhaseCrossHz:   w180 / (2 * math.Pi),
+	}, nil
+}

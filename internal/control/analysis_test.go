@@ -1,0 +1,129 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBodeShapes(t *testing.T) {
+	p := paperPlant()
+	g := MustTune(p, Spec{Kind: KindPI})
+	pts := Bode(p, g, 1e2, 1e7, 10)
+	if len(pts) < 40 {
+		t.Fatalf("bode points = %d", len(pts))
+	}
+	// Magnitude must fall with frequency past the crossover (integral +
+	// plant pole), and phase must be monotonically nonincreasing at high
+	// frequency due to the dead time.
+	if pts[0].MagDB <= pts[len(pts)-1].MagDB {
+		t.Error("loop magnitude does not roll off")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Omega <= pts[i-1].Omega {
+			t.Fatal("bode frequencies not increasing")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.PhaseDeg > -170 {
+		t.Errorf("high-frequency phase = %v deg, want deeply lagged", last.PhaseDeg)
+	}
+}
+
+func TestBodePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid range accepted")
+		}
+	}()
+	Bode(paperPlant(), Gains{Kp: 1}, -1, 1, 10)
+}
+
+func TestGainMarginFiniteWithDelay(t *testing.T) {
+	p := paperPlant()
+	for _, kind := range []Kind{KindP, KindPI, KindPID} {
+		g := MustTune(p, Spec{Kind: kind})
+		gm, w180, err := GainMargin(p, g)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if math.IsInf(gm, 1) {
+			t.Fatalf("%v: infinite gain margin despite dead time", kind)
+		}
+		// A sane design has gain margin comfortably above 1.
+		if gm < 1.5 {
+			t.Errorf("%v: gain margin %v < 1.5", kind, gm)
+		}
+		if w180 <= 0 {
+			t.Errorf("%v: phase crossover = %v", kind, w180)
+		}
+	}
+}
+
+func TestGainMarginInfiniteWithoutDelay(t *testing.T) {
+	p := Plant{K: 10, Tau: 1e-3, Delay: 0}
+	gm, _, err := GainMargin(p, Gains{Kp: 3, Ki: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(gm, 1) {
+		t.Errorf("first-order loop without delay: gain margin = %v, want +Inf", gm)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	p := paperPlant()
+	g := MustTune(p, Spec{Kind: KindPID})
+	rep, err := Analyze(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PhaseMarginDeg < 55 || rep.PhaseMarginDeg > 65 {
+		t.Errorf("phase margin = %v deg", rep.PhaseMarginDeg)
+	}
+	if rep.GainMargin <= 1 {
+		t.Errorf("gain margin = %v", rep.GainMargin)
+	}
+	if rep.PhaseCrossHz <= rep.CrossoverHz {
+		t.Errorf("phase crossover %v Hz not above gain crossover %v Hz",
+			rep.PhaseCrossHz, rep.CrossoverHz)
+	}
+}
+
+// The robustness the paper leans on: the tuned controller must keep the
+// loop stable (positive margins) even when the true plant gain or time
+// constant is substantially misestimated. Note the asymmetry: a plant
+// *faster* than the design tau erodes margin quickly (the crossover slides
+// up into the dead-time's phase cliff) — at tau/3, roughly a bpred-speed
+// block against the 180 us design point, the linear margin all but
+// vanishes, and only actuator saturation/quantization bound the
+// oscillation. This is why the paper (and this reproduction) design
+// against the *longest* block time constant and verify in simulation.
+func TestMarginsSurvivePlantMismatch(t *testing.T) {
+	nominal := paperPlant()
+	g := MustTune(nominal, Spec{Kind: KindPI})
+	for _, perturb := range []Plant{
+		{K: nominal.K * 2, Tau: nominal.Tau, Delay: nominal.Delay},
+		{K: nominal.K * 0.5, Tau: nominal.Tau, Delay: nominal.Delay},
+		{K: nominal.K, Tau: nominal.Tau * 3, Delay: nominal.Delay},
+		{K: nominal.K, Tau: nominal.Tau / 2, Delay: nominal.Delay},
+		{K: nominal.K, Tau: nominal.Tau, Delay: nominal.Delay * 2},
+	} {
+		pm, _, err := OpenLoopPhaseMargin(perturb, g)
+		if err != nil {
+			t.Fatalf("%+v: %v", perturb, err)
+		}
+		if pm <= 5*math.Pi/180 {
+			t.Errorf("plant %+v: phase margin %.1f deg — loop near instability",
+				perturb, pm*180/math.Pi)
+		}
+	}
+	// The documented cliff: a 3x-faster plant leaves almost no margin.
+	fast := Plant{K: nominal.K, Tau: nominal.Tau / 3, Delay: nominal.Delay}
+	pm, _, err := OpenLoopPhaseMargin(fast, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm > 20*math.Pi/180 {
+		t.Errorf("tau/3 margin %.1f deg — expected the documented fragility", pm*180/math.Pi)
+	}
+}

@@ -1,0 +1,84 @@
+// Package core is the top-level facade of the reproduction: the paper's
+// primary contribution — control-theoretic dynamic thermal management
+// driven by a localized thermal-RC model — assembled from the substrate
+// packages and exposed through a handful of entry points.
+//
+// Layering (bottom up):
+//
+//	isa, workload            synthetic SPEC2000 proxy instruction streams
+//	bpred, cache, pipeline   the SimpleScalar-class out-of-order core
+//	power                    Wattch-class per-structure power estimation
+//	floorplan, thermal       the lumped per-block thermal-RC network
+//	control                  PID tuning, anti-windup, loop analysis
+//	dtm                      DTM policies: toggling, M, P/PI/PID, scaling
+//	sensor                   idealized sensors and boxcar power proxies
+//	sim                      the closed loop of Figure 1
+//	bench, experiments       the 18-benchmark suite and the paper's tables
+//
+// Most users need only this package: pick a benchmark (or supply a
+// workload.Profile), pick a DTM policy by name, and Run.
+package core
+
+import (
+	"repro/internal/bench"
+	"repro/internal/control"
+	"repro/internal/dtm"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config is the full-system simulation configuration.
+type Config = sim.Config
+
+// Result is the outcome of a simulation run.
+type Result = sim.Result
+
+// Profile describes a synthetic workload.
+type Profile = workload.Profile
+
+// Run executes one closed-loop simulation.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// Benchmarks returns the names of the 18 SPEC CPU2000 proxies.
+func Benchmarks() []string { return bench.Names() }
+
+// Benchmark returns a suite profile by name.
+func Benchmark(name string) (Profile, error) { return bench.ByName(name) }
+
+// Policies returns the DTM policy names accepted by NewRun.
+func Policies() []string {
+	return []string{
+		"none", "toggle1", "toggle2", "M", "P", "PI", "PID", "mPI", "mPID",
+		"throttle", "specctl", "fscale", "vfscale",
+	}
+}
+
+// NewRun builds a ready-to-Run configuration for a named benchmark under a
+// named DTM policy at the paper's operating points. insts bounds the run
+// length in committed instructions.
+func NewRun(benchmark, policy string, insts uint64) (Config, error) {
+	prof, err := bench.ByName(benchmark)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{Workload: prof, MaxInsts: insts}
+	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// TunedController returns the paper's tuned PID controller of the given
+// kind at its default setpoint, ready to embed in a custom dtm.Manager.
+func TunedController(kind control.Kind) (*control.PID, error) {
+	name := kind.String()
+	p, err := bench.NewPolicy(name, 0)
+	if err != nil {
+		return nil, err
+	}
+	ct, ok := p.(*dtm.CT)
+	if !ok {
+		return nil, err
+	}
+	return ct.Controller(), nil
+}

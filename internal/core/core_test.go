@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/control"
+)
+
+func TestBenchmarksAndPolicies(t *testing.T) {
+	if len(Benchmarks()) != 18 {
+		t.Errorf("benchmarks = %d, want 18", len(Benchmarks()))
+	}
+	for _, pol := range Policies() {
+		if _, err := NewRun("gcc", pol, 1000); err != nil {
+			t.Errorf("NewRun(gcc, %s): %v", pol, err)
+		}
+	}
+}
+
+func TestNewRunErrors(t *testing.T) {
+	if _, err := NewRun("nope", "PI", 1000); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := NewRun("gcc", "nope", 1000); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg, err := NewRun("twolf", "PI", 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts < 50_000 || res.IPC <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Policy != "PI" || res.Benchmark != "twolf" {
+		t.Errorf("labels = %s/%s", res.Benchmark, res.Policy)
+	}
+}
+
+func TestTunedController(t *testing.T) {
+	for _, k := range []control.Kind{control.KindP, control.KindPI, control.KindPID} {
+		ctl, err := TunedController(k)
+		if err != nil || ctl == nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if ctl.Kp <= 0 {
+			t.Errorf("%v: Kp = %v", k, ctl.Kp)
+		}
+		if ctl.Setpoint < 110 || ctl.Setpoint > 111.3 {
+			t.Errorf("%v: setpoint = %v", k, ctl.Setpoint)
+		}
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	p, err := Benchmark("art")
+	if err != nil || p.Name != "art" {
+		t.Fatalf("Benchmark(art) = %v, %v", p.Name, err)
+	}
+	if len(p.Phases) < 2 {
+		t.Error("art should be multi-phase")
+	}
+}

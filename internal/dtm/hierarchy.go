@@ -1,0 +1,73 @@
+package dtm
+
+import "fmt"
+
+// Hierarchy realizes the deployment the paper sketches in Section 2.1: "a
+// low-cost mechanism like toggling might be used with a high trigger
+// threshold. Only when temperature gets truly close to emergency would
+// auxiliary mechanisms like voltage/frequency scaling be employed."
+//
+// The primary policy (typically a CT fetch-toggling controller) runs at
+// every sample; when the hottest block exceeds BackupTrigger — the primary
+// has failed to contain the excursion — the backup scaling mechanism
+// engages until the temperature falls back below the primary's operating
+// region, absorbing its resynchronization stall.
+type Hierarchy struct {
+	Primary Policy
+	Backup  *Scaling
+	// BackupTrigger is the escalation threshold (just under the
+	// emergency level).
+	BackupTrigger float64
+
+	escalations uint64
+}
+
+// NewHierarchy composes a primary policy with a scaling backup.
+func NewHierarchy(primary Policy, backup *Scaling, backupTrigger float64) *Hierarchy {
+	if primary == nil || backup == nil {
+		panic("dtm: hierarchy needs both a primary policy and a backup")
+	}
+	if backup.Trigger < backupTrigger {
+		// The backup's own trigger must not undercut the escalation
+		// threshold, or it would engage before the primary has a
+		// chance (defeating the hierarchy).
+		backup.Trigger = backupTrigger
+	}
+	return &Hierarchy{Primary: primary, Backup: backup, BackupTrigger: backupTrigger}
+}
+
+// Name implements Policy.
+func (h *Hierarchy) Name() string {
+	return fmt.Sprintf("%s>%s", h.Primary.Name(), h.Backup.Name())
+}
+
+// Reset implements Policy.
+func (h *Hierarchy) Reset() {
+	h.Primary.Reset()
+	h.Backup.Reset()
+	h.escalations = 0
+}
+
+// Escalations returns how many times the backup engaged.
+func (h *Hierarchy) Escalations() uint64 { return h.escalations }
+
+// Sample implements Policy: the primary's duty, unless escalated.
+func (h *Hierarchy) Sample(temps []float64) float64 {
+	d, _, _ := h.SampleHierarchy(temps)
+	return d
+}
+
+// SampleHierarchy returns the fetch duty from the primary, the frequency
+// factor from the backup (1 when not escalated) and any resync stall.
+func (h *Hierarchy) SampleHierarchy(temps []float64) (duty, freqFactor float64, stall uint64) {
+	duty = h.Primary.Sample(temps)
+	wasEngaged := h.Backup.Engaged()
+	freqFactor, stall = h.Backup.Sample(temps)
+	if h.Backup.Engaged() && !wasEngaged {
+		h.escalations++
+	}
+	return duty, freqFactor, stall
+}
+
+// PowerFactor exposes the backup's current dynamic-power multiplier.
+func (h *Hierarchy) PowerFactor() float64 { return h.Backup.PowerFactor() }

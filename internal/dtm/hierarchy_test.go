@@ -1,0 +1,58 @@
+package dtm
+
+import "testing"
+
+func TestHierarchyNameAndReset(t *testing.T) {
+	h := NewHierarchy(NewToggle2(110.3, 2), NewFreqScaling(111.2, 0.5, 2), 111.2)
+	if h.Name() != "toggle2>fscale" {
+		t.Errorf("name = %q", h.Name())
+	}
+	h.SampleHierarchy(temps(112))
+	if h.Escalations() != 1 {
+		t.Errorf("escalations = %d", h.Escalations())
+	}
+	h.Reset()
+	if h.Escalations() != 0 || h.Backup.Engaged() {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHierarchyEscalatesOnlyPastBackupTrigger(t *testing.T) {
+	h := NewHierarchy(NewToggle2(110.3, 2), NewFreqScaling(110.3, 0.5, 2), 111.2)
+	// The constructor must lift the backup trigger to the escalation
+	// threshold so the backup does not fire with the primary.
+	d, f, stall := h.SampleHierarchy(temps(110.8))
+	if d != 0.5 {
+		t.Errorf("primary duty = %v, want engaged 0.5", d)
+	}
+	if f != 1 || stall != 0 {
+		t.Errorf("backup engaged below escalation threshold (f=%v)", f)
+	}
+	d, f, stall = h.SampleHierarchy(temps(111.25))
+	if f != 0.5 || stall == 0 {
+		t.Errorf("backup did not escalate: f=%v stall=%d", f, stall)
+	}
+	if h.PowerFactor() != 0.5 {
+		t.Errorf("power factor = %v", h.PowerFactor())
+	}
+	_ = d
+}
+
+func TestHierarchySampleReturnsPrimaryDuty(t *testing.T) {
+	h := NewHierarchy(NewToggle1(110.3, 1), NewFreqScaling(111.2, 0.5, 1), 111.2)
+	if d := h.Sample(temps(109)); d != 1 {
+		t.Errorf("cool duty = %v", d)
+	}
+	if d := h.Sample(temps(111)); d != 0 {
+		t.Errorf("hot duty = %v", d)
+	}
+}
+
+func TestNewHierarchyPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil members accepted")
+		}
+	}()
+	NewHierarchy(nil, nil, 111.2)
+}

@@ -1,0 +1,70 @@
+package dtm
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+)
+
+// MultiCT is the per-structure refinement of the paper's CT-DTM: instead
+// of one controller watching the hottest sensor (tuned against the longest
+// block time constant), each block gets its own PID tuned against that
+// block's *own* thermal plant (its R*Papp gain and RC time constant), and
+// the actuator takes the most conservative (minimum) duty any controller
+// demands.
+//
+// The motivation comes straight out of the loop analysis (see
+// control/analysis_test.go): a single controller designed for the 180 µs
+// dcache has almost no phase margin left when the 49 µs branch predictor
+// is the active hot spot. Per-block tuning restores the design margin for
+// every structure.
+type MultiCT struct {
+	kind control.Kind
+	ctls []*control.PID
+}
+
+// NewMultiCT builds one tuned controller per plant. All controllers share
+// the setpoint, sensor range and sampling period.
+func NewMultiCT(kind control.Kind, plants []control.Plant, setpoint, sensorRange, ts float64) (*MultiCT, error) {
+	if len(plants) == 0 {
+		return nil, fmt.Errorf("dtm: MultiCT needs at least one plant")
+	}
+	m := &MultiCT{kind: kind}
+	for i, p := range plants {
+		g, err := control.Tune(p, control.Spec{Kind: kind})
+		if err != nil {
+			return nil, fmt.Errorf("dtm: tuning block %d: %w", i, err)
+		}
+		m.ctls = append(m.ctls, control.NewPID(g, setpoint, sensorRange, ts))
+	}
+	return m, nil
+}
+
+// Name implements Policy.
+func (m *MultiCT) Name() string { return "m" + m.kind.String() }
+
+// Reset implements Policy.
+func (m *MultiCT) Reset() {
+	for _, c := range m.ctls {
+		c.Reset()
+	}
+}
+
+// Controllers exposes the per-block controllers (tests/ablation).
+func (m *MultiCT) Controllers() []*control.PID { return m.ctls }
+
+// Sample implements Policy: every block's controller sees its own sensor;
+// the pipeline runs at the lowest duty any of them demands.
+func (m *MultiCT) Sample(temps []float64) float64 {
+	if len(temps) != len(m.ctls) {
+		panic(fmt.Sprintf("dtm: MultiCT with %d controllers sampled %d sensors",
+			len(m.ctls), len(temps)))
+	}
+	duty := 1.0
+	for i, c := range m.ctls {
+		if u := c.Update(temps[i]); u < duty {
+			duty = u
+		}
+	}
+	return duty
+}

@@ -1,0 +1,84 @@
+package dtm
+
+import (
+	"testing"
+
+	"repro/internal/control"
+)
+
+func twoPlants() []control.Plant {
+	return []control.Plant{
+		{K: 12, Tau: 180e-6, Delay: 333.5e-9}, // slow block
+		{K: 12, Tau: 49e-6, Delay: 333.5e-9},  // fast block (bpred-like)
+	}
+}
+
+func TestMultiCTBasics(t *testing.T) {
+	m, err := NewMultiCT(control.KindPI, twoPlants(), 111.1, 0.2, 667e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mPI" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if len(m.Controllers()) != 2 {
+		t.Fatalf("controllers = %d", len(m.Controllers()))
+	}
+	if d := m.Sample([]float64{100, 100}); d != 1 {
+		t.Errorf("cool duty = %v", d)
+	}
+	// One hot block drives the duty down even if the other is cool.
+	if d := m.Sample([]float64{100, 112}); d != 0 {
+		t.Errorf("hot-block duty = %v, want 0", d)
+	}
+	m.Reset()
+	for _, c := range m.Controllers() {
+		if c.Integral() != 0 {
+			t.Error("reset incomplete")
+		}
+	}
+}
+
+func TestMultiCTSampleLengthChecked(t *testing.T) {
+	m, _ := NewMultiCT(control.KindPI, twoPlants(), 111.1, 0.2, 667e-9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched sensor count accepted")
+		}
+	}()
+	m.Sample([]float64{100})
+}
+
+func TestNewMultiCTValidation(t *testing.T) {
+	if _, err := NewMultiCT(control.KindPI, nil, 111.1, 0.2, 667e-9); err == nil {
+		t.Error("empty plant list accepted")
+	}
+}
+
+// The per-block design must back off the proportional gain for the fast
+// block (its loop magnitude at the shared crossover is larger), restoring
+// the phase margin a single longest-tau design lacks there.
+func TestMultiCTPerBlockTuning(t *testing.T) {
+	m, err := NewMultiCT(control.KindPI, twoPlants(), 111.1, 0.2, 667e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := m.Controllers()[0], m.Controllers()[1]
+	if fast.Kp >= slow.Kp {
+		t.Errorf("fast-block Kp %v >= slow-block Kp %v", fast.Kp, slow.Kp)
+	}
+	// And the fast block's own-tuned loop must have a healthy margin,
+	// unlike the slow-tuned gains applied to the fast plant.
+	fastPlant := twoPlants()[1]
+	pmOwn, _, err := control.OpenLoopPhaseMargin(fastPlant, fast.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmBorrowed, _, err := control.OpenLoopPhaseMargin(fastPlant, slow.Gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmOwn <= pmBorrowed {
+		t.Errorf("own-tuned margin %.3f not above borrowed %.3f", pmOwn, pmBorrowed)
+	}
+}

@@ -1,0 +1,470 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the index lives in DESIGN.md): benchmark characterization
+// (Tables 4-8), the boxcar-proxy comparison (Tables 9-10), the DTM policy
+// evaluation and headline result (Section 7), the setpoint study, and the
+// time-series traces behind the figures. cmd/tables and the root benchmark
+// harness are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/floorplan"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Params controls experiment scale. The paper simulates 200M committed
+// instructions per benchmark; the default here is scaled down to keep a
+// full table regeneration in CI territory while covering many thermal time
+// constants (2M instructions ~ 1-10M cycles ~ 10-60 block RCs).
+type Params struct {
+	// Insts is the committed-instruction budget per run.
+	Insts uint64
+	// Policies lists the DTM policies for the evaluation tables.
+	Policies []string
+}
+
+// DefaultParams returns the standard reproduction scale.
+func DefaultParams() Params {
+	return Params{
+		Insts:    2_000_000,
+		Policies: []string{"toggle1", "toggle2", "M", "P", "PI", "PID"},
+	}
+}
+
+// runSpec identifies one simulation in a batch.
+type runSpec struct {
+	bench    string
+	policy   string
+	setpoint float64
+	cfg      func(*sim.Config)
+}
+
+// runBatch executes specs concurrently (bounded by GOMAXPROCS) and returns
+// results in spec order.
+func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp runSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prof, err := bench.ByName(sp.bench)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
+			if err := bench.ApplyPolicy(&cfg, sp.policy, sp.setpoint); err != nil {
+				errs[i] = err
+				return
+			}
+			if sp.cfg != nil {
+				sp.cfg(&cfg)
+			}
+			results[i], errs[i] = sim.Run(cfg)
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Baseline runs the whole suite uncontrolled and returns results in
+// bench.Names order.
+func Baseline(p Params) ([]*sim.Result, error) {
+	var specs []runSpec
+	for _, n := range bench.Names() {
+		specs = append(specs, runSpec{bench: n, policy: "none"})
+	}
+	return runBatch(p, specs)
+}
+
+// Table2 renders the simulated machine configuration (Table 2).
+func Table2() *stats.Table {
+	c := pipeline.DefaultConfig()
+	t := &stats.Table{Header: []string{"parameter", "value"}}
+	t.AddRow("instruction window", fmt.Sprintf("%d-RUU, %d-LSQ", c.RUUSize, c.LSQSize))
+	t.AddRow("issue width", fmt.Sprintf("%d per cycle (%d int, %d FP)", c.IssueWidth, c.IntIssue, c.FPIssue))
+	t.AddRow("functional units", fmt.Sprintf("%d IntALU, %d IntMult/Div, %d FPALU, %d FPMult/Div, %d mem ports",
+		c.IntALUs, c.IntMultDiv, c.FPALUs, c.FPMultDiv, c.MemPorts))
+	t.AddRow("front end", fmt.Sprintf("%d-wide fetch, %d-stage depth", c.FetchWidth, c.FrontEndDepth))
+	t.AddRow("L1 D-cache", fmt.Sprintf("%d KB, %d-way, %d B blocks, %d-cycle",
+		c.L1D.SizeBytes>>10, c.L1D.Assoc, c.L1D.BlockSize, c.L1D.Latency))
+	t.AddRow("L1 I-cache", fmt.Sprintf("%d KB, %d-way, %d B blocks, %d-cycle",
+		c.L1I.SizeBytes>>10, c.L1I.Assoc, c.L1I.BlockSize, c.L1I.Latency))
+	t.AddRow("L2", fmt.Sprintf("%d MB, %d-way, %d B blocks, %d-cycle",
+		c.L2.SizeBytes>>20, c.L2.Assoc, c.L2.BlockSize, c.L2.Latency))
+	t.AddRow("memory", "100 cycles")
+	t.AddRow("TLB", "128-entry fully assoc., 30-cycle miss")
+	t.AddRow("branch predictor", fmt.Sprintf("hybrid: %d bimod + %d/%d-bit GAg, %d chooser",
+		c.BPred.BimodEntries, c.BPred.GlobalEntries, c.BPred.HistoryBits, c.BPred.ChooserEntries))
+	t.AddRow("BTB / RAS", fmt.Sprintf("%d-entry %d-way / %d-entry",
+		c.BPred.BTBSets*c.BPred.BTBAssoc, c.BPred.BTBAssoc, c.BPred.RASEntries))
+	return t
+}
+
+// Table3 renders the per-structure thermal parameters (Table 3).
+func Table3() *stats.Table {
+	t := &stats.Table{Header: []string{"structure", "area (m^2)", "peak power (W)", "R (K/W)", "C (J/K)", "RC"}}
+	for _, b := range floorplan.Default() {
+		t.AddRow(b.ID.String(),
+			fmt.Sprintf("%.1e", b.Area),
+			fmt.Sprintf("%.1f", b.PeakPower),
+			fmt.Sprintf("%.2f", b.R),
+			fmt.Sprintf("%.2e", b.C),
+			fmt.Sprintf("%.0f us", b.RC()*1e6))
+	}
+	chip := floorplan.ChipBlock()
+	t.AddRow("chip", fmt.Sprintf("%.1e", chip.Area), fmt.Sprintf("%.0f", chip.PeakPower),
+		fmt.Sprintf("%.2f", chip.R), fmt.Sprintf("%.0f", chip.C),
+		fmt.Sprintf("%.1f s", chip.RC()))
+	return t
+}
+
+// Table4 renders per-benchmark IPC, power, average temperature and the
+// fractions of cycles above the emergency and stress thresholds (Table 4).
+func Table4(base []*sim.Result) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"benchmark", "IPC", "avg pwr (W)", "avg temp (C)", "> D", "> D-1"}}
+	for _, r := range base {
+		// The paper's Table 4 "avg temp" column uses the chip-wide
+		// package model at 27 C ambient with R = 0.34 K/W.
+		chipTemp := 27 + 0.34*r.AvgChipPower
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.2f", r.IPC),
+			fmt.Sprintf("%.1f", r.AvgChipPower),
+			fmt.Sprintf("%.1f", chipTemp),
+			stats.Percent(r.EmergencyFrac()),
+			stats.Percent(r.StressFrac()))
+	}
+	return t
+}
+
+// Table5 renders the thermal categories (Table 5).
+func Table5() *stats.Table {
+	byCat := map[bench.Category][]string{}
+	for _, n := range bench.Names() {
+		c := bench.CategoryOf(n)
+		byCat[c] = append(byCat[c], n)
+	}
+	t := &stats.Table{Header: []string{"category", "benchmarks"}}
+	for _, c := range []bench.Category{bench.Extreme, bench.High, bench.Medium, bench.Low} {
+		names := byCat[c]
+		sort.Strings(names)
+		t.AddRow(string(c), fmt.Sprint(names))
+	}
+	return t
+}
+
+// blockColumns is the per-structure column order of Tables 6-8.
+func blockColumns() []string {
+	var cols []string
+	for _, id := range floorplan.Blocks() {
+		cols = append(cols, id.String())
+	}
+	return cols
+}
+
+// Table6 renders per-structure average/maximum temperatures (Table 6).
+func Table6(base []*sim.Result) *stats.Table {
+	t := &stats.Table{Header: append([]string{"benchmark"}, blockColumns()...)}
+	for _, r := range base {
+		row := []string{r.Benchmark}
+		for _, b := range r.Blocks {
+			row = append(row, fmt.Sprintf("%.1f/%.1f", b.AvgTemp, b.MaxTemp))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table7 renders the per-structure fraction of cycles in emergency
+// (Table 7), and Table8 the same for the stress level (Table 8).
+func Table7(base []*sim.Result) *stats.Table { return perBlockFracTable(base, true) }
+
+// Table8 renders per-structure thermal-stress residency (Table 8).
+func Table8(base []*sim.Result) *stats.Table { return perBlockFracTable(base, false) }
+
+func perBlockFracTable(base []*sim.Result, emergency bool) *stats.Table {
+	t := &stats.Table{Header: append([]string{"benchmark"}, blockColumns()...)}
+	for _, r := range base {
+		row := []string{r.Benchmark}
+		for _, b := range r.Blocks {
+			n := b.StressCycles
+			if emergency {
+				n = b.EmergencyCycles
+			}
+			row = append(row, stats.Percent(float64(n)/float64(r.Cycles)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ProxyTables runs the suite with boxcar power proxies attached and
+// renders Tables 9 (per-structure proxy) and 10 (chip-wide proxy): missed
+// emergency cycles and false trigger cycles per window.
+func ProxyTables(p Params, windows []int) (perStruct, chipWide *stats.Table, err error) {
+	if len(windows) == 0 {
+		windows = []int{10_000, 500_000}
+	}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("experiments: invalid proxy window %d", w)
+		}
+	}
+	var specs []runSpec
+	for _, n := range bench.Names() {
+		specs = append(specs, runSpec{bench: n, policy: "none", cfg: func(c *sim.Config) {
+			c.ProxyWindows = windows
+		}})
+	}
+	results, err := runBatch(p, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	header := []string{"benchmark", "emerg cycles"}
+	for _, w := range windows {
+		header = append(header,
+			fmt.Sprintf("missed@%dK", w/1000),
+			fmt.Sprintf("false@%dK", w/1000))
+	}
+	perStruct = &stats.Table{Header: header}
+	chipWide = &stats.Table{Header: header}
+	for _, r := range results {
+		rowS := []string{r.Benchmark, fmt.Sprintf("%d", r.EmergencyCycles)}
+		rowC := []string{r.Benchmark, fmt.Sprintf("%d", r.EmergencyCycles)}
+		for _, pr := range r.Proxies {
+			rowS = append(rowS, stats.Percent(pr.PerStruct.MissedFrac()), stats.Percent(pr.PerStruct.FalseFrac()))
+			rowC = append(rowC, stats.Percent(pr.ChipWide.MissedFrac()), stats.Percent(pr.ChipWide.FalseFrac()))
+		}
+		perStruct.AddRow(rowS...)
+		chipWide.AddRow(rowC...)
+	}
+	return perStruct, chipWide, nil
+}
+
+// PolicyEval holds the Section 7 evaluation: per benchmark x policy, the
+// percent of non-DTM IPC retained and the emergency residency.
+type PolicyEval struct {
+	Policies  []string
+	Base      []*sim.Result
+	ByPolicy  map[string][]*sim.Result
+	PctOfBase map[string][]float64 // parallel to bench.Names()
+}
+
+// RunPolicyEval executes the full policy-evaluation matrix.
+func RunPolicyEval(p Params) (*PolicyEval, error) {
+	base, err := Baseline(p)
+	if err != nil {
+		return nil, err
+	}
+	ev := &PolicyEval{
+		Policies:  p.Policies,
+		Base:      base,
+		ByPolicy:  map[string][]*sim.Result{},
+		PctOfBase: map[string][]float64{},
+	}
+	for _, pol := range p.Policies {
+		var specs []runSpec
+		for _, n := range bench.Names() {
+			specs = append(specs, runSpec{bench: n, policy: pol})
+		}
+		results, err := runBatch(p, specs)
+		if err != nil {
+			return nil, err
+		}
+		ev.ByPolicy[pol] = results
+		pct := make([]float64, len(results))
+		for i, r := range results {
+			pct[i] = r.IPC / base[i].IPC
+		}
+		ev.PctOfBase[pol] = pct
+	}
+	return ev, nil
+}
+
+// Table11 renders the per-benchmark policy evaluation: percent of non-DTM
+// IPC with the emergency residency in parentheses.
+func (ev *PolicyEval) Table11() *stats.Table {
+	t := &stats.Table{Header: append([]string{"benchmark"}, ev.Policies...)}
+	for i, n := range bench.Names() {
+		row := []string{n}
+		for _, pol := range ev.Policies {
+			r := ev.ByPolicy[pol][i]
+			row = append(row, fmt.Sprintf("%5.1f%% (%0.2f%%)",
+				100*ev.PctOfBase[pol][i], 100*r.EmergencyFrac()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Headline summarizes the paper's central claim (Section 7): per policy,
+// the mean performance retained, the mean performance *loss* relative to
+// toggle1's loss, and whether any emergency cycles survived.
+type Headline struct {
+	Policy        string
+	MeanPct       float64 // mean fraction of non-DTM IPC retained
+	MeanLoss      float64 // 1 - MeanPct
+	LossVsToggle1 float64 // MeanLoss / toggle1's MeanLoss
+	Emergencies   uint64  // total emergency cycles across the suite
+}
+
+// Headlines computes the Table 12 aggregate. Benchmarks whose baseline
+// never triggers any policy dilute nothing: the mean is over the
+// benchmarks that lose performance under at least one policy.
+func (ev *PolicyEval) Headlines() []Headline {
+	affected := map[int]bool{}
+	for i := range bench.Names() {
+		for _, pol := range ev.Policies {
+			if ev.PctOfBase[pol][i] < 0.9999 {
+				affected[i] = true
+			}
+		}
+	}
+	var toggleLoss float64
+	var out []Headline
+	for _, pol := range ev.Policies {
+		var losses []float64
+		var emerg uint64
+		for i := range bench.Names() {
+			if !affected[i] {
+				continue
+			}
+			losses = append(losses, 1-ev.PctOfBase[pol][i])
+			emerg += ev.ByPolicy[pol][i].EmergencyCycles
+		}
+		h := Headline{
+			Policy:      pol,
+			MeanLoss:    stats.Mean(losses),
+			Emergencies: emerg,
+		}
+		h.MeanPct = 1 - h.MeanLoss
+		if pol == "toggle1" {
+			toggleLoss = h.MeanLoss
+		}
+		out = append(out, h)
+	}
+	for i := range out {
+		if toggleLoss > 0 {
+			out[i].LossVsToggle1 = out[i].MeanLoss / toggleLoss
+		}
+	}
+	return out
+}
+
+// Table12 renders the headline aggregate.
+func (ev *PolicyEval) Table12() *stats.Table {
+	t := &stats.Table{Header: []string{"policy", "mean % of base IPC", "mean loss", "loss vs toggle1", "emergency cycles"}}
+	for _, h := range ev.Headlines() {
+		t.AddRow(h.Policy,
+			fmt.Sprintf("%.1f%%", 100*h.MeanPct),
+			fmt.Sprintf("%.1f%%", 100*h.MeanLoss),
+			fmt.Sprintf("%.2fx", h.LossVsToggle1),
+			fmt.Sprintf("%d", h.Emergencies))
+	}
+	return t
+}
+
+// SetpointStudy runs PI and PID at the paper's default and lowered
+// setpoints (Table 13 / Section 7's setpoint sensitivity).
+func SetpointStudy(p Params) (*stats.Table, error) {
+	base, err := Baseline(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"policy", "setpoint", "mean % of base IPC", "emergency cycles"}}
+	for _, pol := range []string{"PI", "PID"} {
+		for _, sp := range []float64{bench.PISetpoint, bench.LowSetpoint} {
+			var specs []runSpec
+			for _, n := range bench.Names() {
+				specs = append(specs, runSpec{bench: n, policy: pol, setpoint: sp})
+			}
+			results, err := runBatch(p, specs)
+			if err != nil {
+				return nil, err
+			}
+			var pcts []float64
+			var emerg uint64
+			for i, r := range results {
+				pcts = append(pcts, r.IPC/base[i].IPC)
+				emerg += r.EmergencyCycles
+			}
+			t.AddRow(pol, fmt.Sprintf("%.1f", sp),
+				fmt.Sprintf("%.1f%%", 100*stats.Mean(pcts)),
+				fmt.Sprintf("%d", emerg))
+		}
+	}
+	return t, nil
+}
+
+// Trace runs one benchmark under one policy with time-series recording
+// (the temperature/duty figures).
+func Trace(p Params, benchName, policy string, stride uint64) (*sim.Result, error) {
+	prof, err := bench.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{Workload: prof, MaxInsts: p.Insts, TraceStride: stride}
+	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// SeedStats summarizes a benchmark's metric spread across workload seeds —
+// the confidence check that the synthetic proxies' conclusions are not
+// artifacts of one random program structure.
+type SeedStats struct {
+	Benchmark, Policy  string
+	N                  int
+	IPCMean, IPCStd    float64
+	EmergMean, EmergSD float64 // emergency fraction
+}
+
+// SeedStudy reruns one benchmark/policy across n workload seeds.
+func SeedStudy(p Params, benchName, policy string, n int) (SeedStats, error) {
+	if n < 2 {
+		return SeedStats{}, fmt.Errorf("experiments: seed study needs n >= 2")
+	}
+	base, err := bench.ByName(benchName)
+	if err != nil {
+		return SeedStats{}, err
+	}
+	var ipc, emerg stats.Running
+	for i := 0; i < n; i++ {
+		prof := base
+		prof.Seed = base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
+		if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+			return SeedStats{}, err
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		ipc.Add(res.IPC)
+		emerg.Add(res.EmergencyFrac())
+	}
+	return SeedStats{
+		Benchmark: benchName, Policy: policy, N: n,
+		IPCMean: ipc.Mean(), IPCStd: ipc.StdDev(),
+		EmergMean: emerg.Mean(), EmergSD: emerg.StdDev(),
+	}, nil
+}

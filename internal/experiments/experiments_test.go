@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func smallParams() Params {
+	return Params{Insts: 60_000, Policies: []string{"toggle1", "PI"}}
+}
+
+func TestStaticTables(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) < 10 {
+		t.Errorf("table 2 rows = %d", len(t2.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 8 {
+		t.Errorf("table 3 rows = %d", len(t3.Rows))
+	}
+	if !strings.Contains(t3.String(), "81 us") {
+		t.Error("table 3 missing the legible window RC value")
+	}
+	t5 := Table5()
+	if len(t5.Rows) != 4 {
+		t.Errorf("table 5 rows = %d", len(t5.Rows))
+	}
+}
+
+func TestBaselineAndCharacterizationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite baseline is slow")
+	}
+	base, err := Baseline(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 18 {
+		t.Fatalf("baseline results = %d", len(base))
+	}
+	for i, r := range base {
+		if r.Benchmark != bench.Names()[i] {
+			t.Errorf("result %d is %s, want %s", i, r.Benchmark, bench.Names()[i])
+		}
+		if r.Insts < smallParams().Insts {
+			t.Errorf("%s committed %d < budget", r.Benchmark, r.Insts)
+		}
+	}
+	for _, tab := range []interface{ String() string }{
+		Table4(base), Table6(base), Table7(base), Table8(base),
+	} {
+		out := tab.String()
+		if !strings.Contains(out, "gcc") || !strings.Contains(out, "apsi") {
+			t.Error("characterization table missing benchmarks")
+		}
+	}
+}
+
+func TestPolicyEvalShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy evaluation is slow")
+	}
+	ev, err := RunPolicyEval(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.ByPolicy) != 2 {
+		t.Fatalf("policies = %d", len(ev.ByPolicy))
+	}
+	for pol, pcts := range ev.PctOfBase {
+		if len(pcts) != 18 {
+			t.Errorf("%s: %d entries", pol, len(pcts))
+		}
+		for i, p := range pcts {
+			if p <= 0 || p > 1.2 {
+				t.Errorf("%s/%s: pct of base = %v", pol, bench.Names()[i], p)
+			}
+		}
+	}
+	hs := ev.Headlines()
+	if len(hs) != 2 {
+		t.Fatalf("headlines = %d", len(hs))
+	}
+	for _, h := range hs {
+		if h.MeanPct <= 0 || h.MeanPct > 1.01 {
+			t.Errorf("%s: mean pct = %v", h.Policy, h.MeanPct)
+		}
+	}
+	if tab := ev.Table11(); len(tab.Rows) != 18 {
+		t.Errorf("table 11 rows = %d", len(tab.Rows))
+	}
+	if tab := ev.Table12(); len(tab.Rows) != 2 {
+		t.Errorf("table 12 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTraceExperiment(t *testing.T) {
+	res, err := Trace(Params{Insts: 60_000}, "twolf", "PI", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TempTrace == nil || res.TempTrace.Len() == 0 {
+		t.Error("no trace recorded")
+	}
+	if _, err := Trace(Params{Insts: 1000}, "nope", "PI", 100); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Trace(Params{Insts: 1000}, "gcc", "nope", 100); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestSeedStudy(t *testing.T) {
+	st, err := SeedStudy(Params{Insts: 60_000}, "twolf", "none", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 || st.Benchmark != "twolf" {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.IPCMean <= 0 {
+		t.Error("zero mean IPC")
+	}
+	// Different seeds must actually perturb the program (nonzero spread).
+	if st.IPCStd == 0 {
+		t.Error("zero IPC spread across seeds — seeds not applied?")
+	}
+	// But the spread must be small relative to the mean (the proxies'
+	// behaviour is a property of the profile, not the seed).
+	if st.IPCStd > 0.25*st.IPCMean {
+		t.Errorf("IPC spread %v too large vs mean %v", st.IPCStd, st.IPCMean)
+	}
+	if _, err := SeedStudy(Params{Insts: 1000}, "twolf", "none", 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := SeedStudy(Params{Insts: 1000}, "nope", "none", 2); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestProxyTablesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("proxy sweep is slow")
+	}
+	ps, cw, err := ProxyTables(Params{Insts: 60_000}, []int{5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rows) != 18 || len(cw.Rows) != 18 {
+		t.Fatalf("proxy tables rows = %d/%d", len(ps.Rows), len(cw.Rows))
+	}
+	// Header carries one missed/false pair per window.
+	if len(ps.Header) != 2+2 {
+		t.Errorf("per-struct header = %v", ps.Header)
+	}
+	if _, _, err := ProxyTables(Params{Insts: 1000}, []int{0}); err == nil {
+		t.Error("zero window accepted")
+	}
+}

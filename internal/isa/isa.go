@@ -1,0 +1,142 @@
+// Package isa defines the micro-operation vocabulary consumed by the
+// cycle-level pipeline model.
+//
+// The paper's simulator (SimpleScalar sim-outorder extended per Section 5.1)
+// operates on Alpha binaries; every experiment in the paper, however, only
+// depends on the *class* of each instruction (which functional unit it
+// occupies, whether it touches memory, whether it is a control transfer) and
+// on its dataflow dependences. This package therefore models instructions as
+// micro-ops tagged with an operation class, source/destination registers and
+// — for memory and control operations — an effective address or branch
+// target/outcome supplied by the workload generator.
+package isa
+
+import "fmt"
+
+// OpClass identifies the functional-unit class of a micro-op.
+type OpClass uint8
+
+// Operation classes. The set mirrors sim-outorder's FU classes for the
+// simulated Alpha-21264-like configuration of Table 2.
+const (
+	OpNop OpClass = iota
+	OpIntALU
+	OpIntMult
+	OpIntDiv
+	OpFPALU
+	OpFPMult
+	OpFPDiv
+	OpLoad
+	OpStore
+	OpBranch // conditional branch
+	OpJump   // unconditional direct jump
+	OpCall   // subroutine call (pushes return-address stack)
+	OpReturn // subroutine return (pops return-address stack)
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+var opNames = [...]string{
+	OpNop:     "nop",
+	OpIntALU:  "intalu",
+	OpIntMult: "intmult",
+	OpIntDiv:  "intdiv",
+	OpFPALU:   "fpalu",
+	OpFPMult:  "fpmult",
+	OpFPDiv:   "fpdiv",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpBranch:  "branch",
+	OpJump:    "jump",
+	OpCall:    "call",
+	OpReturn:  "return",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c OpClass) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses the data cache.
+func (c OpClass) IsMem() bool { return c == OpLoad || c == OpStore }
+
+// IsCtrl reports whether the class is a control transfer.
+func (c OpClass) IsCtrl() bool {
+	return c == OpBranch || c == OpJump || c == OpCall || c == OpReturn
+}
+
+// IsFP reports whether the class executes on the floating-point cluster.
+func (c OpClass) IsFP() bool {
+	return c == OpFPALU || c == OpFPMult || c == OpFPDiv
+}
+
+// Latency returns the execution latency in cycles for the class, matching
+// sim-outorder's defaults for the configuration in Table 2. Memory classes
+// return the latency of address generation only; cache access latency is
+// added by the memory hierarchy model.
+func (c OpClass) Latency() int {
+	switch c {
+	case OpIntALU, OpBranch, OpJump, OpCall, OpReturn, OpNop:
+		return 1
+	case OpIntMult:
+		return 3
+	case OpIntDiv:
+		return 20
+	case OpFPALU:
+		return 2
+	case OpFPMult:
+		return 4
+	case OpFPDiv:
+		return 12
+	case OpLoad, OpStore:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// NumArchRegs is the number of architectural registers visible to the
+// dependence model (32 integer + 32 floating point, Alpha-style).
+const NumArchRegs = 64
+
+// RegNone marks an absent register operand.
+const RegNone = -1
+
+// MicroOp is one dynamic instruction as produced by a workload and consumed
+// by the pipeline.
+type MicroOp struct {
+	// Seq is the dynamic sequence number (0-based fetch order).
+	Seq uint64
+	// PC is the (synthetic) program counter of the instruction.
+	PC uint64
+	// Class is the operation class.
+	Class OpClass
+	// Src1, Src2 are architectural source registers, or RegNone.
+	Src1, Src2 int16
+	// Dest is the architectural destination register, or RegNone.
+	Dest int16
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Target is the branch/jump target PC for control transfers.
+	Target uint64
+	// Taken is the resolved direction for conditional branches; jumps,
+	// calls and returns are always taken.
+	Taken bool
+}
+
+// FallThrough returns the next sequential PC after the op (fixed 4-byte
+// encoding, Alpha-style).
+func (m *MicroOp) FallThrough() uint64 { return m.PC + 4 }
+
+// NextPC returns the PC the instruction actually transfers control to.
+func (m *MicroOp) NextPC() uint64 {
+	if m.Class.IsCtrl() && (m.Taken || m.Class != OpBranch) {
+		return m.Target
+	}
+	return m.FallThrough()
+}

@@ -1,0 +1,102 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassNames(t *testing.T) {
+	want := map[OpClass]string{
+		OpNop: "nop", OpIntALU: "intalu", OpIntMult: "intmult",
+		OpIntDiv: "intdiv", OpFPALU: "fpalu", OpFPMult: "fpmult",
+		OpFPDiv: "fpdiv", OpLoad: "load", OpStore: "store",
+		OpBranch: "branch", OpJump: "jump", OpCall: "call", OpReturn: "return",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if OpClass(200).String() != "opclass(200)" {
+		t.Errorf("unknown class name = %q", OpClass(200).String())
+	}
+	if len(want) != NumOpClasses {
+		t.Errorf("name table covers %d of %d classes", len(want), NumOpClasses)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpIntALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	for _, c := range []OpClass{OpBranch, OpJump, OpCall, OpReturn} {
+		if !c.IsCtrl() {
+			t.Errorf("%v not control", c)
+		}
+	}
+	if OpLoad.IsCtrl() {
+		t.Error("load is not control")
+	}
+	for _, c := range []OpClass{OpFPALU, OpFPMult, OpFPDiv} {
+		if !c.IsFP() {
+			t.Errorf("%v not FP", c)
+		}
+	}
+	if OpIntMult.IsFP() {
+		t.Error("intmult is not FP")
+	}
+}
+
+func TestLatenciesPositiveAndOrdered(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c, c.Latency())
+		}
+	}
+	if !(OpIntALU.Latency() < OpIntMult.Latency() && OpIntMult.Latency() < OpIntDiv.Latency()) {
+		t.Error("integer latency ordering broken")
+	}
+	if !(OpFPALU.Latency() < OpFPMult.Latency() && OpFPMult.Latency() < OpFPDiv.Latency()) {
+		t.Error("FP latency ordering broken")
+	}
+}
+
+func TestNextPCSemantics(t *testing.T) {
+	br := MicroOp{PC: 0x100, Class: OpBranch, Target: 0x200, Taken: true}
+	if br.NextPC() != 0x200 {
+		t.Errorf("taken branch NextPC = %#x", br.NextPC())
+	}
+	br.Taken = false
+	if br.NextPC() != 0x104 {
+		t.Errorf("not-taken branch NextPC = %#x", br.NextPC())
+	}
+	jmp := MicroOp{PC: 0x100, Class: OpJump, Target: 0x300} // Taken irrelevant
+	if jmp.NextPC() != 0x300 {
+		t.Errorf("jump NextPC = %#x", jmp.NextPC())
+	}
+	alu := MicroOp{PC: 0x100, Class: OpIntALU}
+	if alu.NextPC() != alu.FallThrough() || alu.NextPC() != 0x104 {
+		t.Errorf("ALU NextPC = %#x", alu.NextPC())
+	}
+}
+
+// Property: NextPC is always either the fall-through or the target, and
+// non-control ops always fall through.
+func TestNextPCProperty(t *testing.T) {
+	f := func(pc, target uint64, cls uint8, taken bool) bool {
+		op := MicroOp{
+			PC:     pc &^ 3,
+			Class:  OpClass(cls % uint8(NumOpClasses)),
+			Target: target,
+			Taken:  taken,
+		}
+		next := op.NextPC()
+		if !op.Class.IsCtrl() {
+			return next == op.FallThrough()
+		}
+		return next == op.FallThrough() || next == op.Target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package power implements the Wattch-style per-cycle, per-structure power
+// model of Section 5.1: per-access energies estimated from lumped
+// capacitance models of the array structures (this file), scaled by the
+// pipeline's per-cycle activity counts and a conditional clock-gating style
+// (model.go), and calibrated so each block's full-tilt dissipation matches
+// the Table 3 peak powers.
+package power
+
+import "fmt"
+
+// Tech holds the process parameters of Section 5.1: 0.18 um, Vdd = 2.0 V,
+// 1.5 GHz.
+type Tech struct {
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// FreqHz is the clock frequency in Hz.
+	FreqHz float64
+	// BitlineSwing is the fraction of Vdd a bitline swings on a read.
+	BitlineSwing float64
+
+	// Per-element capacitances in farads, representative of 0.18 um.
+	CGatePass  float64 // pass-transistor gate cap per cell port
+	CDiff      float64 // drain diffusion cap per cell on a bitline
+	CMetalPerM float64 // wire capacitance per meter
+	CellWidth  float64 // SRAM cell width in meters (per port pitch)
+	CellHeight float64 // SRAM cell height in meters
+	CDecodePer float64 // decoder cap per address bit
+	CMatchCell float64 // CAM matchline cap per cell
+}
+
+// DefaultTech returns the paper's technology point.
+func DefaultTech() Tech {
+	return Tech{
+		Vdd:          2.0,
+		FreqHz:       1.5e9,
+		BitlineSwing: 0.25,
+		CGatePass:    1.6e-15,
+		CDiff:        1.9e-15,
+		CMetalPerM:   2.4e-10,
+		CellWidth:    2.4e-6,
+		CellHeight:   1.8e-6,
+		CDecodePer:   2.0e-14,
+		CMatchCell:   1.2e-15,
+	}
+}
+
+// CycleTime returns the clock period in seconds.
+func (t Tech) CycleTime() float64 { return 1 / t.FreqHz }
+
+// ArraySpec describes one SRAM/CAM array structure in the Wattch manner:
+// a grid of Rows x Bits cells with some number of read and write ports,
+// optionally with a CAM match port (for wakeup/forwarding searches).
+type ArraySpec struct {
+	Rows       int
+	Bits       int
+	ReadPorts  int
+	WritePorts int
+	CAM        bool
+}
+
+func (a ArraySpec) check() {
+	if a.Rows <= 0 || a.Bits <= 0 {
+		panic(fmt.Sprintf("power: invalid array %+v", a))
+	}
+}
+
+// ports returns the total port count (capacitance on word/bitlines scales
+// with ports).
+func (a ArraySpec) ports() int {
+	p := a.ReadPorts + a.WritePorts
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// wordlineCap returns the capacitance switched on one wordline assertion:
+// two pass gates per cell per port plus the metal wordline itself,
+// following Wattch's array model (with the column-decoder contribution the
+// paper adds in Section 5.1).
+func (a ArraySpec) wordlineCap(t Tech) float64 {
+	wireLen := float64(a.Bits) * t.CellWidth * float64(a.ports())
+	return float64(a.Bits)*(2*t.CGatePass) + wireLen*t.CMetalPerM
+}
+
+// bitlineCap returns the capacitance of one bitline: a diffusion cap per
+// row plus the metal line.
+func (a ArraySpec) bitlineCap(t Tech) float64 {
+	wireLen := float64(a.Rows) * t.CellHeight * float64(a.ports())
+	return float64(a.Rows)*t.CDiff + wireLen*t.CMetalPerM
+}
+
+// decodeCap returns the row+column decoder capacitance per access.
+func (a ArraySpec) decodeCap(t Tech) float64 {
+	bits := 0
+	for 1<<bits < a.Rows {
+		bits++
+	}
+	// Column decoders (Section 5.1's modeling fix) add roughly the same
+	// per-bit load again for the selected columns.
+	return float64(bits+2) * t.CDecodePer
+}
+
+// ReadEnergy returns the energy in joules of one read access: decode,
+// wordline at full swing, and all bitlines at reduced (sense-amp) swing.
+func (a ArraySpec) ReadEnergy(t Tech) float64 {
+	a.check()
+	e := (a.decodeCap(t) + a.wordlineCap(t)) * t.Vdd * t.Vdd
+	e += float64(a.Bits) * a.bitlineCap(t) * t.Vdd * (t.Vdd * t.BitlineSwing)
+	return e
+}
+
+// WriteEnergy returns the energy of one write access: decode, wordline,
+// and full-swing bitline drive.
+func (a ArraySpec) WriteEnergy(t Tech) float64 {
+	a.check()
+	e := (a.decodeCap(t) + a.wordlineCap(t)) * t.Vdd * t.Vdd
+	e += float64(a.Bits) * a.bitlineCap(t) * t.Vdd * t.Vdd
+	return e
+}
+
+// MatchEnergy returns the energy of one CAM match broadcast across the
+// whole array (wakeup or load/store forwarding search).
+func (a ArraySpec) MatchEnergy(t Tech) float64 {
+	a.check()
+	if !a.CAM {
+		panic(fmt.Sprintf("power: MatchEnergy on non-CAM array %+v", a))
+	}
+	taglines := float64(a.Bits) * t.CGatePass * float64(a.Rows)
+	matchlines := float64(a.Rows) * float64(a.Bits) * t.CMatchCell
+	return (taglines + matchlines) * t.Vdd * t.Vdd
+}
+
+// ALUEnergy returns the per-operation energy of a functional-unit cluster,
+// modeled as an effective switched capacitance (Wattch treats FUs as fixed
+// per-op energies).
+func ALUEnergy(t Tech, effCap float64) float64 {
+	if effCap <= 0 {
+		panic(fmt.Sprintf("power: non-positive ALU capacitance %g", effCap))
+	}
+	return effCap * t.Vdd * t.Vdd
+}
+
+// Representative effective capacitances for the execution clusters.
+const (
+	IntALUCap = 9.0e-12  // F per integer op
+	FPALUCap  = 22.0e-12 // F per floating-point op
+)

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakageModel adds temperature-dependent static power — the
+// leakage/temperature positive feedback that motivates the paper's
+// citation of Wong et al.'s leakage-control circuits and becomes
+// first-order in later technology nodes. Leakage grows exponentially with
+// temperature:
+//
+//	P_leak(T) = Frac0 * Ppeak * 2^((T-TRef)/DoubleEveryK)
+//
+// Because hotter blocks leak more and leaking blocks get hotter, an
+// operating point only exists while the cooling path can absorb the
+// feedback; past the runaway threshold the block has no equilibrium below
+// any safe temperature and only DTM (cutting dynamic power) can hold it.
+type LeakageModel struct {
+	// Frac0 is the leakage fraction of block peak power at TRef.
+	Frac0 float64
+	// TRef is the reference temperature in Celsius.
+	TRef float64
+	// DoubleEveryK is the temperature increase that doubles leakage.
+	DoubleEveryK float64
+}
+
+// DefaultLeakage returns a mild 0.18 um-class model: 5% of peak at the
+// 100 C operating point, doubling every 12 K.
+func DefaultLeakage() *LeakageModel {
+	return &LeakageModel{Frac0: 0.05, TRef: 100, DoubleEveryK: 12}
+}
+
+// Validate checks model parameters.
+func (l *LeakageModel) Validate() error {
+	if l.Frac0 < 0 || l.DoubleEveryK <= 0 {
+		return fmt.Errorf("power: invalid leakage model %+v", l)
+	}
+	return nil
+}
+
+// Power returns the leakage power in watts for a block with the given
+// peak power at temperature tempC.
+func (l *LeakageModel) Power(peakW, tempC float64) float64 {
+	return l.Frac0 * peakW * math.Exp2((tempC-l.TRef)/l.DoubleEveryK)
+}
+
+// Equilibrium solves the self-consistent block temperature under constant
+// dynamic power pDyn with sink temperature sink and thermal resistance r:
+//
+//	T = sink + r * (pDyn + P_leak(T))
+//
+// It returns the stable equilibrium and ok=true, or ok=false when the
+// leakage feedback outruns the cooling path below capC (thermal runaway).
+func (l *LeakageModel) Equilibrium(peakW, pDyn, r, sink, capC float64) (temp float64, ok bool) {
+	f := func(t float64) float64 {
+		return sink + r*(pDyn+l.Power(peakW, t)) - t
+	}
+	// A stable equilibrium is a downward crossing of f. Scan upward from
+	// the sink.
+	lo := sink
+	if f(lo) < 0 {
+		return lo, true // already balanced below the sink: degenerate
+	}
+	const step = 0.25
+	for t := lo; t < capC; t += step {
+		if f(t+step) < 0 {
+			// Bisect [t, t+step].
+			a, b := t, t+step
+			for i := 0; i < 60; i++ {
+				mid := (a + b) / 2
+				if f(mid) > 0 {
+					a = mid
+				} else {
+					b = mid
+				}
+			}
+			return (a + b) / 2, true
+		}
+	}
+	return 0, false
+}
+
+// RunawayDynamicPower returns the largest constant dynamic power that
+// still has an equilibrium below capC, found by bisection; DTM must keep
+// the block's dynamic power below this line once leakage is modeled.
+func (l *LeakageModel) RunawayDynamicPower(peakW, r, sink, capC float64) float64 {
+	lo, hi := 0.0, 10*peakW
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if _, ok := l.Equilibrium(peakW, mid, r, sink, capC); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,69 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeakagePowerExponential(t *testing.T) {
+	l := DefaultLeakage()
+	base := l.Power(10, 100)
+	if math.Abs(base-0.5) > 1e-12 {
+		t.Errorf("leakage at TRef = %v, want 0.5", base)
+	}
+	if got := l.Power(10, 112); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("leakage one doubling up = %v, want 1.0", got)
+	}
+	if got := l.Power(10, 88); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("leakage one doubling down = %v, want 0.25", got)
+	}
+}
+
+func TestLeakageValidate(t *testing.T) {
+	if err := (&LeakageModel{Frac0: -1, DoubleEveryK: 10}).Validate(); err == nil {
+		t.Error("negative Frac0 accepted")
+	}
+	if err := (&LeakageModel{Frac0: 0.1, DoubleEveryK: 0}).Validate(); err == nil {
+		t.Error("zero doubling accepted")
+	}
+	if err := DefaultLeakage().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumWithMildLeakage(t *testing.T) {
+	l := DefaultLeakage()
+	// Block: peak 10 W, R 2 K/W, sink 100 C, dynamic 4 W.
+	temp, ok := l.Equilibrium(10, 4, 2, 100, 140)
+	if !ok {
+		t.Fatal("no equilibrium with mild leakage")
+	}
+	// Without leakage Tss = 108; leakage pushes it a bit above.
+	if temp < 108 || temp > 112 {
+		t.Errorf("equilibrium = %v, want slightly above 108", temp)
+	}
+	// Self-consistency: T = sink + R*(Pdyn + leak(T)).
+	want := 100 + 2*(4+l.Power(10, temp))
+	if math.Abs(temp-want) > 0.01 {
+		t.Errorf("equilibrium %v not self-consistent (%v)", temp, want)
+	}
+}
+
+func TestThermalRunaway(t *testing.T) {
+	// Leakage doubling every 6 K from 5% of a 10 W peak through R = 2:
+	// the tangency condition puts the runaway threshold analytically at
+	// Pdyn = (x* - 2*L0*2^(x*/6))/2 with 2^(x*/6) = 6/(2*L0*ln2), i.e.
+	// about 5.0 W.
+	l := &LeakageModel{Frac0: 0.05, TRef: 100, DoubleEveryK: 6}
+	if _, ok := l.Equilibrium(10, 8, 2, 100, 140); ok {
+		t.Error("expected runaway at 8 W, found equilibrium")
+	}
+	edge := l.RunawayDynamicPower(10, 2, 100, 140)
+	if edge < 4.5 || edge > 5.5 {
+		t.Errorf("runaway dynamic power = %v, want ~5.0", edge)
+	}
+	// Just below the edge: an equilibrium exists.
+	if _, ok := l.Equilibrium(10, edge*0.95, 2, 100, 140); !ok {
+		t.Error("no equilibrium just below the runaway threshold")
+	}
+}

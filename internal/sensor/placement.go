@@ -1,0 +1,152 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file addresses the sensor-placement question the paper defers
+// ("the number of sensors is likely to be limited, and they may not be
+// co-located with the most likely hot spots", Section 4.2): given recorded
+// per-block temperature traces, choose the K blocks whose sensors best
+// track the true hottest temperature across workloads.
+
+// PlacementResult reports a chosen sensor subset and its residual error.
+type PlacementResult struct {
+	// Blocks are the selected block indices, in selection order.
+	Blocks []int
+	// MaxError is the worst-case underestimate of the true hottest
+	// temperature across all samples: max_t [ max_i T_i(t) -
+	// max_{i in Blocks} T_i(t) ].
+	MaxError float64
+	// MeanError is the same underestimate averaged over samples.
+	MeanError float64
+}
+
+// coverageError evaluates a sensor set against the traces.
+func coverageError(series [][]float64, chosen []int) (maxErr, meanErr float64) {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return 0, 0
+	}
+	n := len(series[0])
+	var sum float64
+	for t := 0; t < n; t++ {
+		trueMax := math.Inf(-1)
+		for i := range series {
+			if v := series[i][t]; v > trueMax {
+				trueMax = v
+			}
+		}
+		seen := math.Inf(-1)
+		for _, i := range chosen {
+			if v := series[i][t]; v > seen {
+				seen = v
+			}
+		}
+		e := trueMax - seen
+		if e < 0 {
+			e = 0
+		}
+		if e > maxErr {
+			maxErr = e
+		}
+		sum += e
+	}
+	return maxErr, sum / float64(n)
+}
+
+// maxExhaustiveSubsets bounds the exact search; with the paper's seven
+// blocks every k is far below it.
+const maxExhaustiveSubsets = 200_000
+
+// SelectSensors chooses k sensor locations from the per-block temperature
+// traces (series[i][t] is block i's temperature at sample t), minimizing
+// the worst-case underestimate of the hottest temperature (ties broken on
+// the mean). When the subset space is small — always true for the paper's
+// seven blocks — the search is exhaustive and therefore optimal; larger
+// problems fall back to greedy selection, which can be myopic. Traces from
+// several workloads should be concatenated so the placement generalizes.
+func SelectSensors(series [][]float64, k int) (PlacementResult, error) {
+	if len(series) == 0 {
+		return PlacementResult{}, fmt.Errorf("sensor: no traces")
+	}
+	n := len(series[0])
+	if n == 0 {
+		return PlacementResult{}, fmt.Errorf("sensor: empty traces")
+	}
+	for i, s := range series {
+		if len(s) != n {
+			return PlacementResult{}, fmt.Errorf("sensor: trace %d has %d samples, want %d", i, len(s), n)
+		}
+	}
+	if k <= 0 || k > len(series) {
+		return PlacementResult{}, fmt.Errorf("sensor: k=%d outside [1,%d]", k, len(series))
+	}
+	if binomial(len(series), k) <= maxExhaustiveSubsets {
+		return selectExhaustive(series, k), nil
+	}
+	return selectGreedy(series, k), nil
+}
+
+// binomial returns C(n,k) saturating at a large bound.
+func binomial(n, k int) int {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c > 10*maxExhaustiveSubsets {
+			return c
+		}
+	}
+	return c
+}
+
+func selectExhaustive(series [][]float64, k int) PlacementResult {
+	best := PlacementResult{MaxError: math.Inf(1), MeanError: math.Inf(1)}
+	subset := make([]int, k)
+	var walk func(start, depth int)
+	walk = func(start, depth int) {
+		if depth == k {
+			mx, mean := coverageError(series, subset)
+			if mx < best.MaxError-1e-12 ||
+				(math.Abs(mx-best.MaxError) <= 1e-12 && mean < best.MeanError) {
+				best = PlacementResult{
+					Blocks:    append([]int(nil), subset...),
+					MaxError:  mx,
+					MeanError: mean,
+				}
+			}
+			return
+		}
+		for i := start; i < len(series); i++ {
+			subset[depth] = i
+			walk(i+1, depth+1)
+		}
+	}
+	walk(0, 0)
+	return best
+}
+
+func selectGreedy(series [][]float64, k int) PlacementResult {
+	var chosen []int
+	used := make([]bool, len(series))
+	for len(chosen) < k {
+		best := -1
+		bestMax, bestMean := math.Inf(1), math.Inf(1)
+		for i := range series {
+			if used[i] {
+				continue
+			}
+			mx, mean := coverageError(series, append(chosen, i))
+			if mx < bestMax-1e-12 || (math.Abs(mx-bestMax) <= 1e-12 && mean < bestMean) {
+				best, bestMax, bestMean = i, mx, mean
+			}
+		}
+		chosen = append(chosen, best)
+		used[best] = true
+	}
+	mx, mean := coverageError(series, chosen)
+	return PlacementResult{Blocks: chosen, MaxError: mx, MeanError: mean}
+}

@@ -1,0 +1,502 @@
+// Package sim wires the full system of the paper together: the workload
+// generator feeds the out-of-order pipeline; every cycle the pipeline's
+// activity is converted to per-block power (Wattch coupling), the power
+// drives the lumped thermal-RC network, the per-block temperatures feed the
+// DTM manager, and the manager's fetch duty closes the loop back into the
+// pipeline (Figure 1 realized at the microarchitecture level).
+//
+// A Run produces the metrics every table in the evaluation needs: IPC and
+// percent-of-baseline performance, thermal-emergency and thermal-stress
+// cycle counts (total and per block), per-block average/maximum
+// temperatures, average power, duty statistics, and optional proxy
+// comparisons (Section 6) and time-series traces (the figures).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Thresholds carries the thermal limits used everywhere (see DESIGN.md for
+// the reconstruction of the paper's constants).
+type Thresholds struct {
+	// Emergency is the thermal-emergency level D (111.3 C).
+	Emergency float64
+	// Stress is the thermal-stress reporting level (D - 1).
+	Stress float64
+	// SinkTemp is the heatsink temperature (100 C).
+	SinkTemp float64
+}
+
+// DefaultThresholds returns the paper's operating point.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Emergency: 111.3, Stress: 110.3, SinkTemp: 100.0}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Workload is the benchmark profile to execute.
+	Workload workload.Profile
+	// Pipeline configures the core; zero value uses Table 2 defaults.
+	Pipeline pipeline.Config
+	// Gating is the clock-gating style for the power model.
+	Gating power.GatingStyle
+	// Leakage, when non-nil, adds temperature-dependent static power to
+	// every block (closing the leakage/temperature feedback loop).
+	Leakage *power.LeakageModel
+	// Thresholds are the thermal limits; zero value uses defaults.
+	Thresholds Thresholds
+	// Manager applies a DTM policy; nil runs uncontrolled.
+	Manager *dtm.Manager
+	// Scaling optionally applies frequency (or voltage/frequency)
+	// scaling instead of / in addition to the manager's fetch actuator.
+	Scaling *dtm.Scaling
+	// Hierarchy applies a composed primary-policy + scaling-backup
+	// mechanism (Section 2.1's hierarchical deployment). Mutually
+	// exclusive with Manager/Scaling.
+	Hierarchy *dtm.Hierarchy
+	// MaxInsts stops the run after this many committed instructions.
+	MaxInsts uint64
+	// MaxCycles is a hard cycle bound (safety net; 0 = 50x MaxInsts).
+	MaxCycles uint64
+	// Tangential enables lateral heat flow in the thermal network.
+	Tangential bool
+	// ProxyWindows, when non-empty, runs boxcar power proxies of the
+	// given window lengths against the RC model (Tables 9/10).
+	ProxyWindows []int
+	// ChipProxyTriggerW is the chip-wide proxy trigger threshold in
+	// watts (default 47).
+	ChipProxyTriggerW float64
+	// TraceStride, when nonzero, records time series every N cycles.
+	TraceStride uint64
+	// Sensor models non-ideal temperature sensors feeding the DTM
+	// manager (offset and quantization error); the zero value is the
+	// paper's idealized sensor. The thermal bookkeeping always uses the
+	// true model temperature — only the DTM policy sees sensor readings.
+	Sensor sensor.Sensor
+	// CoupleChipSink evolves the heatsink temperature with the slow
+	// chip-wide package model (ambient ChipAmbient, Table 3 chip R/C)
+	// instead of holding it constant — an extension for validating the
+	// paper's constant-heatsink assumption over short intervals.
+	CoupleChipSink bool
+	// ChipAmbient is the ambient temperature for the coupled package
+	// model (default 45 C).
+	ChipAmbient float64
+	// MonitoredBlocks, when non-empty, restricts the DTM policy's view to
+	// sensors on these blocks only — the paper's limited-sensor-placement
+	// concern (Section 4.2). Thermal bookkeeping still covers every
+	// block; unmonitored hot spots can therefore escape the policy.
+	MonitoredBlocks []floorplan.BlockID
+	// InitTemps optionally sets initial block temperatures (default:
+	// heatsink temperature everywhere).
+	InitTemps []float64
+}
+
+// BlockResult aggregates one block's thermal outcome.
+type BlockResult struct {
+	Name            string
+	AvgTemp         float64
+	MaxTemp         float64
+	EmergencyCycles uint64
+	StressCycles    uint64
+}
+
+// ProxyResult is one window's proxy-vs-model comparison.
+type ProxyResult struct {
+	Window    int
+	PerStruct sensor.Comparison
+	ChipWide  sensor.Comparison
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Benchmark string
+	Policy    string
+
+	// SinkDrift is the net heatsink temperature change over the run
+	// (nonzero only with CoupleChipSink).
+	SinkDrift float64
+
+	Cycles      uint64
+	Insts       uint64
+	WallSeconds float64
+
+	IPC             float64
+	AvgChipPower    float64
+	MaxChipPower    float64
+	AvgDuty         float64
+	Engagements     uint64
+	EmergencyCycles uint64 // cycles with any block above Emergency
+	StressCycles    uint64 // cycles with any block above Stress
+	StallCycles     uint64 // trigger-mechanism / resync stalls
+
+	Blocks []BlockResult
+
+	Proxies []ProxyResult
+
+	// Optional traces (TraceStride > 0).
+	TempTrace  *stats.Series // hottest block temperature
+	DutyTrace  *stats.Series
+	BlockTrace []*stats.Series // per-block temperature
+}
+
+// EmergencyFrac returns the fraction of cycles spent in thermal emergency.
+func (r *Result) EmergencyFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.EmergencyCycles) / float64(r.Cycles)
+}
+
+// StressFrac returns the fraction of cycles above the stress level.
+func (r *Result) StressFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StressCycles) / float64(r.Cycles)
+}
+
+// InstsPerSecond returns committed instructions per wall-clock second —
+// the performance metric that stays meaningful under frequency scaling.
+func (r *Result) InstsPerSecond() float64 {
+	if r.WallSeconds == 0 {
+		return 0
+	}
+	return float64(r.Insts) / r.WallSeconds
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.MaxInsts == 0 {
+		return nil, fmt.Errorf("sim: MaxInsts must be positive")
+	}
+	if cfg.Pipeline.FetchWidth == 0 {
+		cfg.Pipeline = pipeline.DefaultConfig()
+	}
+	if cfg.Thresholds == (Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds()
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50 * cfg.MaxInsts
+	}
+	if cfg.ChipProxyTriggerW == 0 {
+		cfg.ChipProxyTriggerW = 47
+	}
+
+	gen, err := workload.NewGenerator(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	core, err := pipeline.New(cfg.Pipeline, gen)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := power.DefaultConfig()
+	pcfg.Gating = cfg.Gating
+	pcfg.Pipeline = cfg.Pipeline
+	pmodel, err := power.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Leakage != nil {
+		if err := cfg.Leakage.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	tcfg := thermal.DefaultConfig()
+	tcfg.SinkTemp = cfg.Thresholds.SinkTemp
+	tcfg.Tangential = cfg.Tangential
+	net := thermal.New(tcfg)
+	if cfg.InitTemps != nil {
+		for i, t := range cfg.InitTemps {
+			net.SetTemp(i, t)
+		}
+	}
+
+	mgr := cfg.Manager
+	policyName := "none"
+	if cfg.Hierarchy != nil {
+		if mgr != nil || cfg.Scaling != nil {
+			return nil, fmt.Errorf("sim: Hierarchy is mutually exclusive with Manager/Scaling")
+		}
+		cfg.Hierarchy.Reset()
+		policyName = cfg.Hierarchy.Name()
+	}
+	if mgr != nil {
+		mgr.Reset()
+		policyName = mgr.Policy.Name()
+	}
+	if cfg.Scaling != nil {
+		cfg.Scaling.Reset()
+		if policyName == "none" {
+			policyName = cfg.Scaling.Name()
+		} else {
+			policyName += "+" + cfg.Scaling.Name()
+		}
+	}
+
+	nblk := net.NumBlocks()
+	res := &Result{
+		Benchmark: cfg.Workload.Name,
+		Policy:    policyName,
+		Blocks:    make([]BlockResult, nblk),
+	}
+	for i := range res.Blocks {
+		res.Blocks[i].Name = net.Block(i).ID.String()
+	}
+
+	// Proxies (Section 6).
+	type proxyPair struct {
+		ps   *sensor.StructProxy
+		pc   *sensor.ChipProxy
+		comp *ProxyResult
+	}
+	var proxies []proxyPair
+	if len(cfg.ProxyWindows) > 0 {
+		rs := make([]float64, nblk)
+		for i := 0; i < nblk; i++ {
+			rs[i] = net.Block(i).R
+		}
+		// Allocate all results first: proxyPair holds pointers into
+		// the slice, so it must not grow afterwards.
+		res.Proxies = make([]ProxyResult, len(cfg.ProxyWindows))
+		for i, w := range cfg.ProxyWindows {
+			res.Proxies[i] = ProxyResult{Window: w}
+			proxies = append(proxies, proxyPair{
+				ps:   sensor.NewStructProxy(rs, w, cfg.Thresholds.SinkTemp, cfg.Thresholds.Emergency),
+				pc:   sensor.NewChipProxy(w, cfg.ChipProxyTriggerW),
+				comp: &res.Proxies[i],
+			})
+		}
+	}
+
+	if cfg.TraceStride > 0 {
+		res.TempTrace = stats.NewSeries(cfg.TraceStride)
+		res.DutyTrace = stats.NewSeries(cfg.TraceStride)
+		for i := 0; i < nblk; i++ {
+			res.BlockTrace = append(res.BlockTrace, stats.NewSeries(cfg.TraceStride))
+		}
+	}
+
+	var monitorIdx []int
+	if len(cfg.MonitoredBlocks) > 0 {
+		for _, id := range cfg.MonitoredBlocks {
+			i, ok := net.Index(id)
+			if !ok {
+				return nil, fmt.Errorf("sim: monitored block %v not in thermal network", id)
+			}
+			monitorIdx = append(monitorIdx, i)
+		}
+	}
+
+	var chipNode *thermal.ChipModel
+	if cfg.CoupleChipSink {
+		ambient := cfg.ChipAmbient
+		if ambient == 0 {
+			ambient = 45
+		}
+		chipBlk := floorplan.ChipBlock()
+		chipNode = thermal.NewChipModel(chipBlk.R, chipBlk.C, ambient)
+		chipNode.T = cfg.Thresholds.SinkTemp
+	}
+
+	var (
+		act        pipeline.Activity
+		powerVec   = make([]float64, nblk)
+		temps      = make([]float64, nblk)
+		sensed     = make([]float64, nblk)
+		blockTemp  = make([]stats.Running, nblk)
+		chipPower  stats.Running
+		dutySum    float64
+		dt         = tcfg.CycleTime
+		freqFactor = 1.0
+		stallLeft  uint64
+		cycle      uint64
+	)
+	duty := 1.0
+	net.Temps(temps) // prime last-cycle temperatures for the leakage term
+
+	for core.Stats().Committed < cfg.MaxInsts && cycle < cfg.MaxCycles {
+		cycle++
+		stalled := stallLeft > 0
+		if stalled {
+			stallLeft--
+			res.StallCycles++
+			act.Reset() // clock runs but the pipeline is idle
+		} else {
+			core.Step(&act)
+		}
+
+		// Power for this cycle.
+		pmodel.BlockPower(&act, powerVec)
+		pf := 1.0
+		if cfg.Scaling != nil {
+			pf = cfg.Scaling.PowerFactor()
+		}
+		if cfg.Hierarchy != nil {
+			pf = cfg.Hierarchy.PowerFactor()
+		}
+		if pf != 1 {
+			for i := range powerVec {
+				powerVec[i] *= pf
+			}
+		}
+		if cfg.Leakage != nil {
+			// Static power rides on top of the (possibly scaled)
+			// dynamic power, using last cycle's temperatures.
+			for i := range powerVec {
+				powerVec[i] += cfg.Leakage.Power(net.Block(i).PeakPower, temps[i])
+			}
+		}
+		chip := pmodel.ChipPower(&act, powerVec)
+		chipPower.Add(chip)
+		if chip > res.MaxChipPower {
+			res.MaxChipPower = chip
+		}
+
+		// Thermal step at the effective clock period.
+		stepDt := dt / freqFactor
+		if stepDt != dt {
+			// Re-scale by stepping the network multiple unit steps
+			// is wasteful; exact single-step via StepN is also
+			// constant-power, so approximate the longer period with
+			// a scaled Euler step through repeated unit steps.
+			steps := int(stepDt/dt + 0.5)
+			for s := 0; s < steps; s++ {
+				net.Step(powerVec)
+			}
+		} else {
+			net.Step(powerVec)
+		}
+		res.WallSeconds += stepDt
+
+		// Thermal bookkeeping.
+		net.Temps(temps)
+		anyEmerg, anyStress := false, false
+		for i, t := range temps {
+			blockTemp[i].Add(t)
+			br := &res.Blocks[i]
+			if t > br.MaxTemp {
+				br.MaxTemp = t
+			}
+			if t > cfg.Thresholds.Emergency {
+				br.EmergencyCycles++
+				anyEmerg = true
+			}
+			if t > cfg.Thresholds.Stress {
+				br.StressCycles++
+				anyStress = true
+			}
+		}
+		if anyEmerg {
+			res.EmergencyCycles++
+		}
+		if anyStress {
+			res.StressCycles++
+		}
+
+		// Proxies.
+		for _, pp := range proxies {
+			hotS := pp.ps.Step(powerVec)
+			hotC := pp.pc.Step(chip)
+			pp.comp.PerStruct.Record(anyEmerg, hotS)
+			pp.comp.ChipWide.Record(anyEmerg, hotC)
+		}
+
+		// Heatsink drift (extension).
+		if chipNode != nil {
+			chipNode.Step(chip, stepDt)
+			net.SetSinkTemp(chipNode.T)
+		}
+
+		// DTM. Policies observe the (possibly non-ideal, possibly
+		// partial) sensors.
+		if mgr != nil && !stalled {
+			obs := temps
+			if monitorIdx != nil {
+				sensed = sensed[:0]
+				for _, i := range monitorIdx {
+					sensed = append(sensed, cfg.Sensor.Read(temps[i]))
+				}
+				obs = sensed
+			} else if cfg.Sensor != (sensor.Sensor{}) {
+				sensed = sensed[:len(temps)]
+				for i, t := range temps {
+					sensed[i] = cfg.Sensor.Read(t)
+				}
+				obs = sensed
+			}
+			a, stall := mgr.StepActuation(cycle, obs)
+			if a.FetchDuty != duty {
+				duty = a.FetchDuty
+				core.SetFetchDuty(duty)
+			}
+			core.SetFetchLimit(a.FetchLimit)
+			core.SetMaxUnresolvedBranches(a.MaxUnresolved)
+			stallLeft += stall
+		}
+		if cfg.Scaling != nil && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+			f, stall := cfg.Scaling.Sample(temps)
+			freqFactor = f
+			stallLeft += stall
+		}
+		if cfg.Hierarchy != nil && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+			d, f, stall := cfg.Hierarchy.SampleHierarchy(temps)
+			d = control.Quantize(d, 8)
+			if d != duty {
+				duty = d
+				core.SetFetchDuty(duty)
+			}
+			freqFactor = f
+			stallLeft += stall
+		}
+		dutySum += duty
+
+		// Traces.
+		if res.TempTrace != nil {
+			_, hot := net.Hottest()
+			res.TempTrace.Add(cycle, hot)
+			res.DutyTrace.Add(cycle, duty)
+			for i := range res.BlockTrace {
+				res.BlockTrace[i].Add(cycle, temps[i])
+			}
+		}
+	}
+
+	st := core.Stats()
+	res.Cycles = cycle
+	res.Insts = st.Committed
+	res.IPC = float64(st.Committed) / float64(cycle)
+	res.AvgChipPower = chipPower.Mean()
+	res.AvgDuty = dutySum / float64(cycle)
+	if mgr != nil {
+		res.Engagements = mgr.Engagements()
+	}
+	for i := range res.Blocks {
+		res.Blocks[i].AvgTemp = blockTemp[i].Mean()
+	}
+	if chipNode != nil {
+		res.SinkDrift = chipNode.T - cfg.Thresholds.SinkTemp
+	}
+	return res, nil
+}
+
+// BlockByID returns the BlockResult for a floorplan block, or nil.
+func (r *Result) BlockByID(id floorplan.BlockID) *BlockResult {
+	name := id.String()
+	for i := range r.Blocks {
+		if r.Blocks[i].Name == name {
+			return &r.Blocks[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// This file implements the *full* lumped network of Figure 3B as a general
+// RC solver: arbitrary capacitive nodes (blocks, heat spreader, heatsink)
+// and fixed-temperature nodes (ambient), connected by thermal conductances,
+// with per-node power injection. The paper simplifies this network to
+// Figure 3C (per-block R to a constant-temperature sink) after arguing the
+// tangential resistances and heatsink dynamics are ignorable over short
+// intervals; the solver exists so that simplification can be validated
+// numerically rather than taken on faith (see solver_test.go and
+// BenchmarkAblationTangential).
+
+// NodeSpec describes one node of a general RC network.
+type NodeSpec struct {
+	Name string
+	// C is the thermal capacitance in J/K; a non-positive C marks a
+	// fixed-temperature (boundary) node.
+	C float64
+	// T0 is the initial (and, for boundary nodes, permanent)
+	// temperature.
+	T0 float64
+}
+
+// EdgeSpec connects two nodes through a thermal resistance.
+type EdgeSpec struct {
+	A, B int     // node indices
+	R    float64 // K/W
+}
+
+// Solver integrates a general RC network.
+type Solver struct {
+	nodes []NodeSpec
+	temps []float64
+	// g is the symmetric conductance matrix (W/K); g[i][j] between
+	// distinct nodes, g[i][i] unused.
+	g [][]float64
+}
+
+// NewSolver builds a solver from nodes and edges. It panics on malformed
+// specifications (these are always construction-time errors).
+func NewSolver(nodes []NodeSpec, edges []EdgeSpec) *Solver {
+	if len(nodes) == 0 {
+		panic("thermal: solver needs nodes")
+	}
+	s := &Solver{
+		nodes: append([]NodeSpec(nil), nodes...),
+		temps: make([]float64, len(nodes)),
+		g:     make([][]float64, len(nodes)),
+	}
+	for i, n := range nodes {
+		s.temps[i] = n.T0
+		s.g[i] = make([]float64, len(nodes))
+	}
+	for _, e := range edges {
+		if e.A < 0 || e.A >= len(nodes) || e.B < 0 || e.B >= len(nodes) || e.A == e.B {
+			panic(fmt.Sprintf("thermal: bad edge %+v", e))
+		}
+		if e.R <= 0 {
+			panic(fmt.Sprintf("thermal: non-positive resistance in edge %+v", e))
+		}
+		s.g[e.A][e.B] += 1 / e.R
+		s.g[e.B][e.A] += 1 / e.R
+	}
+	return s
+}
+
+// NumNodes returns the node count.
+func (s *Solver) NumNodes() int { return len(s.nodes) }
+
+// Temp returns node i's temperature.
+func (s *Solver) Temp(i int) float64 { return s.temps[i] }
+
+// SetTemp overrides node i's temperature.
+func (s *Solver) SetTemp(i int, t float64) { s.temps[i] = t }
+
+// netFlow returns the net heat flow into node i (W) for temperatures tt
+// under injection power.
+func (s *Solver) netFlow(i int, tt, power []float64) float64 {
+	flow := power[i]
+	for j := range s.nodes {
+		if gij := s.g[i][j]; gij != 0 {
+			flow += (tt[j] - tt[i]) * gij
+		}
+	}
+	return flow
+}
+
+// Step advances the network by dt seconds under the given per-node power
+// injection (boundary nodes ignore their entries) using classical RK4,
+// which stays accurate even when dt is a large fraction of the smallest
+// node time constant.
+func (s *Solver) Step(power []float64, dt float64) {
+	if len(power) != len(s.nodes) {
+		panic(fmt.Sprintf("thermal: solver Step with %d powers for %d nodes", len(power), len(s.nodes)))
+	}
+	n := len(s.nodes)
+	deriv := func(tt []float64, out []float64) {
+		for i := 0; i < n; i++ {
+			if s.nodes[i].C <= 0 {
+				out[i] = 0 // boundary node
+				continue
+			}
+			out[i] = s.netFlow(i, tt, power) / s.nodes[i].C
+		}
+	}
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	deriv(s.temps, k1)
+	for i := range tmp {
+		tmp[i] = s.temps[i] + 0.5*dt*k1[i]
+	}
+	deriv(tmp, k2)
+	for i := range tmp {
+		tmp[i] = s.temps[i] + 0.5*dt*k2[i]
+	}
+	deriv(tmp, k3)
+	for i := range tmp {
+		tmp[i] = s.temps[i] + dt*k3[i]
+	}
+	deriv(tmp, k4)
+	for i := range s.temps {
+		if s.nodes[i].C <= 0 {
+			continue
+		}
+		s.temps[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+}
+
+// SteadyState solves the network's equilibrium temperatures under constant
+// power injection by Gaussian elimination of the conductance system
+// G*T = P (+ boundary conditions). It returns an error if the system is
+// singular (a capacitive island with no path to any boundary node).
+func (s *Solver) SteadyState(power []float64) ([]float64, error) {
+	if len(power) != len(s.nodes) {
+		return nil, fmt.Errorf("thermal: SteadyState with %d powers for %d nodes", len(power), len(s.nodes))
+	}
+	n := len(s.nodes)
+	// Build augmented matrix for the unknown (capacitive) nodes.
+	var unknown []int
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if s.nodes[i].C > 0 {
+			pos[i] = len(unknown)
+			unknown = append(unknown, i)
+		}
+	}
+	m := len(unknown)
+	if m == 0 {
+		return append([]float64(nil), s.temps...), nil
+	}
+	a := make([][]float64, m)
+	for r, i := range unknown {
+		a[r] = make([]float64, m+1)
+		var diag float64
+		rhs := power[i]
+		for j := 0; j < n; j++ {
+			gij := s.g[i][j]
+			if gij == 0 {
+				continue
+			}
+			diag += gij
+			if pos[j] >= 0 {
+				a[r][pos[j]] -= gij
+			} else {
+				rhs += gij * s.nodes[j].T0
+			}
+		}
+		a[r][r] += diag
+		a[r][m] = rhs
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-15 {
+			return nil, fmt.Errorf("thermal: singular network (node %s floats)", s.nodes[unknown[col]].Name)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	sol := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		v := a[r][m]
+		for c := r + 1; c < m; c++ {
+			v -= a[r][c] * sol[c]
+		}
+		sol[r] = v / a[r][r]
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pos[i] >= 0 {
+			out[i] = sol[pos[i]]
+		} else {
+			out[i] = s.nodes[i].T0
+		}
+	}
+	return out, nil
+}
+
+// FullNetwork describes the Figure 3B model built by NewFullNetwork: block
+// nodes with tangential coupling, a heat-spreader node, a heatsink node
+// and a fixed ambient.
+type FullNetwork struct {
+	*Solver
+	// BlockIdx maps floorplan blocks to solver node indices.
+	BlockIdx map[floorplan.BlockID]int
+	// SpreaderIdx, SinkIdx, AmbientIdx locate the package nodes.
+	SpreaderIdx, SinkIdx, AmbientIdx int
+}
+
+// Package-node parameters for the full model: the spreader and sink split
+// the chip block's package resistance, and the sink carries the 60 J/K
+// capacitance of Section 4.1.
+const (
+	spreaderC = 2.0  // J/K — copper spreader, much smaller than the sink
+	spreaderR = 0.14 // K/W die-to-spreader share of the package resistance
+	sinkR     = 0.20 // K/W spreader+sink-to-ambient share
+)
+
+// NewFullNetwork builds the Figure 3B network: every floorplan block is a
+// capacitive node connected to the heat spreader through its normal
+// resistance and to its neighbors through tangential resistances; the
+// spreader connects to the heatsink and the heatsink to a fixed ambient.
+// Initial temperatures put the die at startTemp with the package in
+// equilibrium beneath it.
+func NewFullNetwork(blocks []floorplan.Block, ambient, startTemp float64) *FullNetwork {
+	var nodes []NodeSpec
+	idx := map[floorplan.BlockID]int{}
+	for _, b := range blocks {
+		idx[b.ID] = len(nodes)
+		nodes = append(nodes, NodeSpec{Name: b.ID.String(), C: b.C, T0: startTemp})
+	}
+	spreader := len(nodes)
+	nodes = append(nodes, NodeSpec{Name: "spreader", C: spreaderC, T0: startTemp})
+	sink := len(nodes)
+	chip := floorplan.ChipBlock()
+	nodes = append(nodes, NodeSpec{Name: "heatsink", C: chip.C, T0: startTemp})
+	amb := len(nodes)
+	nodes = append(nodes, NodeSpec{Name: "ambient", C: 0, T0: ambient})
+
+	var edges []EdgeSpec
+	for _, b := range blocks {
+		edges = append(edges, EdgeSpec{A: idx[b.ID], B: spreader, R: b.R})
+		for _, nb := range b.Neighbors {
+			j, ok := idx[nb]
+			if !ok || j <= idx[b.ID] {
+				continue // add each tangential edge once
+			}
+			rt := floorplan.TangentialResistance(b.Area)
+			edges = append(edges, EdgeSpec{A: idx[b.ID], B: j, R: 2 * rt})
+		}
+	}
+	edges = append(edges, EdgeSpec{A: spreader, B: sink, R: spreaderR})
+	edges = append(edges, EdgeSpec{A: sink, B: amb, R: sinkR})
+
+	return &FullNetwork{
+		Solver:      NewSolver(nodes, edges),
+		BlockIdx:    idx,
+		SpreaderIdx: spreader,
+		SinkIdx:     sink,
+		AmbientIdx:  amb,
+	}
+}
+
+// StepBlocks advances the full network by dt with per-block power given in
+// floorplan order (matching the simplified Network's power vector).
+func (f *FullNetwork) StepBlocks(blockPower []float64, blocks []floorplan.Block, dt float64) {
+	power := make([]float64, f.NumNodes())
+	for i, b := range blocks {
+		power[f.BlockIdx[b.ID]] = blockPower[i]
+	}
+	f.Step(power, dt)
+}
+
+// BlockTemp returns a block's temperature.
+func (f *FullNetwork) BlockTemp(id floorplan.BlockID) float64 {
+	return f.Temp(f.BlockIdx[id])
+}

@@ -1,0 +1,194 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// A single RC node through the solver must match the analytic exponential.
+func TestSolverSingleNodeMatchesAnalytic(t *testing.T) {
+	nodes := []NodeSpec{
+		{Name: "block", C: 6e-5, T0: 100},
+		{Name: "sink", C: 0, T0: 100},
+	}
+	s := NewSolver(nodes, []EdgeSpec{{A: 0, B: 1, R: 2.0}})
+	power := []float64{5, 0}
+	const dt = 1e-6
+	for i := 0; i < 200; i++ { // 200 us
+		s.Step(power, dt)
+	}
+	b := floorplan.Block{R: 2.0, C: 6e-5}
+	want := StepResponse(b, 100, 5, 200e-6)
+	if math.Abs(s.Temp(0)-want) > 1e-3 {
+		t.Errorf("solver T = %v, analytic %v", s.Temp(0), want)
+	}
+}
+
+func TestSolverSteadyStateMatchesOhm(t *testing.T) {
+	// block -> spreader -> ambient chain: Tss = amb + P*(R1+R2).
+	nodes := []NodeSpec{
+		{Name: "block", C: 6e-5, T0: 50},
+		{Name: "mid", C: 1.0, T0: 50},
+		{Name: "amb", C: 0, T0: 45},
+	}
+	s := NewSolver(nodes, []EdgeSpec{
+		{A: 0, B: 1, R: 2.0},
+		{A: 1, B: 2, R: 0.34},
+	})
+	ss, err := s.SteadyState([]float64{10, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 45 + 10*(2.0+0.34); math.Abs(ss[0]-want) > 1e-9 {
+		t.Errorf("block steady state = %v, want %v", ss[0], want)
+	}
+	if want := 45 + 10*0.34; math.Abs(ss[1]-want) > 1e-9 {
+		t.Errorf("mid steady state = %v, want %v", ss[1], want)
+	}
+	if ss[2] != 45 {
+		t.Errorf("boundary moved: %v", ss[2])
+	}
+}
+
+func TestSolverSingularNetworkRejected(t *testing.T) {
+	// A capacitive node with no path to any boundary.
+	nodes := []NodeSpec{
+		{Name: "floating", C: 1, T0: 100},
+		{Name: "amb", C: 0, T0: 45},
+	}
+	s := NewSolver(nodes, nil)
+	if _, err := s.SteadyState([]float64{1, 0}); err == nil {
+		t.Error("singular network accepted")
+	}
+}
+
+func TestSolverPanicsOnBadSpecs(t *testing.T) {
+	cases := []func(){
+		func() { NewSolver(nil, nil) },
+		func() {
+			NewSolver([]NodeSpec{{C: 1}}, []EdgeSpec{{A: 0, B: 0, R: 1}})
+		},
+		func() {
+			NewSolver([]NodeSpec{{C: 1}, {C: 1}}, []EdgeSpec{{A: 0, B: 1, R: -1}})
+		},
+		func() {
+			NewSolver([]NodeSpec{{C: 1}}, []EdgeSpec{{A: 0, B: 5, R: 1}})
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The core validation of the paper's Figure 3C simplification: over a
+// short horizon (a few block time constants), the full Figure 3B network —
+// with tangential coupling, spreader and heatsink dynamics — tracks the
+// simplified constant-sink model within a fraction of a degree.
+func TestFullNetworkValidatesSimplifiedModel(t *testing.T) {
+	blocks := floorplan.Default()
+	simple := New(DefaultConfig())
+	// Start the full model with the die at the sink temperature and the
+	// package pre-warmed so the sink node holds ~100 C, matching the
+	// simplified model's boundary assumption.
+	full := NewFullNetwork(blocks, 45, 100)
+	power := make([]float64, len(blocks))
+	for i, b := range blocks {
+		power[i] = 0.6 * b.PeakPower
+	}
+	// The package must carry away the total power to hold the sink
+	// steady; inject the balancing heat at the sink node for the short
+	// horizon (equivalent to the pre-warmed package's thermal inertia).
+	const dt = 1e-7
+	const steps = 5000 // 0.5 ms ~ several block RCs
+	for i := 0; i < steps; i++ {
+		simpleStep(simple, power, dt)
+		full.StepBlocks(power, blocks, dt)
+	}
+	for i, b := range blocks {
+		got := full.BlockTemp(b.ID)
+		want := simple.Temp(i)
+		if d := math.Abs(got - want); d > 0.5 {
+			t.Errorf("%v: full %.3f vs simplified %.3f (d=%.3f)", b.ID, got, want, d)
+		}
+	}
+	// The heatsink node must have barely moved (Section 4.3's argument).
+	if d := math.Abs(full.Temp(full.SinkIdx) - 100); d > 0.2 {
+		t.Errorf("heatsink moved %.3f C in 0.5 ms", d)
+	}
+}
+
+// simpleStep advances the simplified network with an arbitrary dt by
+// temporarily scaling through StepN-equivalent integration.
+func simpleStep(n *Network, power []float64, dt float64) {
+	// The simplified model's Step uses its configured cycle time; for the
+	// comparison we advance via the exact per-node exponential.
+	cycles := uint64(dt / (1.0 / 1.5e9))
+	n.StepN(power, cycles)
+}
+
+// Long-horizon behaviour: with sustained power, the full network's sink
+// node eventually warms — quantifying how long the constant-sink
+// assumption stays valid.
+func TestFullNetworkSinkWarmsOverSeconds(t *testing.T) {
+	blocks := floorplan.Default()
+	full := NewFullNetwork(blocks, 45, 100)
+	power := make([]float64, len(blocks))
+	for i, b := range blocks {
+		power[i] = 0.6 * b.PeakPower
+	}
+	// Integrate 2 s at a coarse step (package dynamics are slow; block
+	// nodes are near-equilibrium so RK4 stays stable at 50 us).
+	const dt = 50e-6
+	for i := 0; i < 40_000; i++ {
+		full.StepBlocks(power, blocks, dt)
+	}
+	drift := full.Temp(full.SinkIdx) - 100
+	if math.Abs(drift) < 0.1 {
+		t.Errorf("sink failed to move over 2 s (drift %.4f)", drift)
+	}
+}
+
+func TestFullNetworkSteadyState(t *testing.T) {
+	blocks := floorplan.Default()
+	full := NewFullNetwork(blocks, 45, 45)
+	power := make([]float64, full.NumNodes())
+	var total float64
+	for _, b := range blocks {
+		power[full.BlockIdx[b.ID]] = 0.5 * b.PeakPower
+		total += 0.5 * b.PeakPower
+	}
+	ss, err := full.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink must sit at ambient + total*(sinkR); the spreader above
+	// it; every block above the spreader.
+	wantSink := 45 + total*sinkR
+	if math.Abs(ss[full.SinkIdx]-wantSink) > 1e-6 {
+		t.Errorf("sink steady state = %v, want %v", ss[full.SinkIdx], wantSink)
+	}
+	for _, b := range blocks {
+		if ss[full.BlockIdx[b.ID]] <= ss[full.SpreaderIdx] {
+			t.Errorf("%v not hotter than spreader", b.ID)
+		}
+	}
+}
+
+func TestSolverStepPanicsOnLengthMismatch(t *testing.T) {
+	s := NewSolver([]NodeSpec{{C: 1, T0: 1}}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched power length")
+		}
+	}()
+	s.Step([]float64{1, 2}, 1e-6)
+}

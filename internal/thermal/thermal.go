@@ -1,0 +1,288 @@
+// Package thermal implements the paper's lumped thermal-RC model
+// (Section 4): one RC node per architectural block connected through its
+// normal thermal resistance to a heatsink node that is held at constant
+// temperature over short intervals, with optional tangential resistances
+// between adjacent blocks (Figure 3B) and a slow chip-wide package node
+// (heat spreader + heatsink) for long-horizon behaviour.
+//
+// The per-cycle update is the difference equation of Section 5.2
+// (Equation 5):
+//
+//	T[k+1] = T[k] + dt * ( P[k] - (T[k] - Tsink)/R ) / C
+//
+// evaluated once per clock cycle with dt equal to the cycle time. Because
+// the block time constants (49–180 us) are five orders of magnitude larger
+// than the 0.667 ns cycle, forward Euler is numerically benign; the package
+// also provides the exact exponential solution for validation and for
+// advancing many cycles of constant power at once.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Blocks is the set of lumped nodes; usually floorplan.Default().
+	Blocks []floorplan.Block
+	// SinkTemp is the heatsink temperature in Celsius, treated as
+	// constant over the simulated interval (Section 4.3: the heatsink RC
+	// is orders of magnitude larger than the block RCs).
+	SinkTemp float64
+	// CycleTime is dt in seconds (0.667 ns at the paper's 1.5 GHz).
+	CycleTime float64
+	// Tangential enables lateral heat flow between Neighbors through
+	// floorplan.TangentialResistance (the Figure 3B model). The paper's
+	// simplified model (Figure 3C) omits it.
+	Tangential bool
+}
+
+// DefaultConfig returns the paper's reproduction configuration: the Table 3
+// blocks, a 100 C heatsink and the 1.5 GHz cycle time.
+func DefaultConfig() Config {
+	return Config{
+		Blocks:    floorplan.Default(),
+		SinkTemp:  100.0,
+		CycleTime: 1.0 / 1.5e9,
+	}
+}
+
+// Network is the lumped per-block RC model. All temperatures are Celsius.
+type Network struct {
+	cfg    Config
+	temps  []float64
+	rInv   []float64 // 1/R per block
+	cInv   []float64 // 1/C per block
+	adj    [][]int   // neighbor indices (tangential only)
+	gTan   [][]float64
+	idx    map[floorplan.BlockID]int
+	blocks []floorplan.Block
+}
+
+// New builds a Network from cfg. It panics on an empty block set or a
+// non-positive cycle time, which are always configuration errors.
+func New(cfg Config) *Network {
+	if len(cfg.Blocks) == 0 {
+		panic("thermal: no blocks configured")
+	}
+	if cfg.CycleTime <= 0 {
+		panic(fmt.Sprintf("thermal: invalid cycle time %g", cfg.CycleTime))
+	}
+	n := &Network{
+		cfg:    cfg,
+		temps:  make([]float64, len(cfg.Blocks)),
+		rInv:   make([]float64, len(cfg.Blocks)),
+		cInv:   make([]float64, len(cfg.Blocks)),
+		idx:    make(map[floorplan.BlockID]int, len(cfg.Blocks)),
+		blocks: append([]floorplan.Block(nil), cfg.Blocks...),
+	}
+	for i, b := range n.blocks {
+		if b.R <= 0 || b.C <= 0 {
+			panic(fmt.Sprintf("thermal: block %v has non-positive R or C", b.ID))
+		}
+		n.temps[i] = cfg.SinkTemp
+		n.rInv[i] = 1 / b.R
+		n.cInv[i] = 1 / b.C
+		n.idx[b.ID] = i
+	}
+	if cfg.Tangential {
+		n.adj = make([][]int, len(n.blocks))
+		n.gTan = make([][]float64, len(n.blocks))
+		for i, b := range n.blocks {
+			for _, nb := range b.Neighbors {
+				j, ok := n.idx[nb]
+				if !ok {
+					continue // neighbor not modeled in this network
+				}
+				// Tangential conductance between the two block
+				// centers: series combination of each block's
+				// lateral resistance.
+				rt := floorplan.TangentialResistance(b.Area) +
+					floorplan.TangentialResistance(n.blocks[j].Area)
+				n.adj[i] = append(n.adj[i], j)
+				n.gTan[i] = append(n.gTan[i], 1/rt)
+			}
+		}
+	}
+	return n
+}
+
+// NumBlocks returns the number of modeled nodes.
+func (n *Network) NumBlocks() int { return len(n.blocks) }
+
+// Block returns the physical parameters of node i.
+func (n *Network) Block(i int) floorplan.Block { return n.blocks[i] }
+
+// Index returns the node index for a block ID and whether it is modeled.
+func (n *Network) Index(id floorplan.BlockID) (int, bool) {
+	i, ok := n.idx[id]
+	return i, ok
+}
+
+// SinkTemp returns the heatsink temperature.
+func (n *Network) SinkTemp() float64 { return n.cfg.SinkTemp }
+
+// SetSinkTemp changes the heatsink temperature (used when coupling to the
+// slow chip-wide model).
+func (n *Network) SetSinkTemp(t float64) { n.cfg.SinkTemp = t }
+
+// Temp returns the temperature of node i.
+func (n *Network) Temp(i int) float64 { return n.temps[i] }
+
+// Temps copies all node temperatures into dst (allocating if nil) and
+// returns it.
+func (n *Network) Temps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(n.temps))
+	}
+	copy(dst, n.temps)
+	return dst
+}
+
+// SetTemp overrides node i's temperature (testing and checkpoint restore).
+func (n *Network) SetTemp(i int, t float64) { n.temps[i] = t }
+
+// Reset returns every node to the heatsink temperature.
+func (n *Network) Reset() {
+	for i := range n.temps {
+		n.temps[i] = n.cfg.SinkTemp
+	}
+}
+
+// Step advances the network by one cycle given per-node power in watts.
+// len(power) must equal NumBlocks.
+func (n *Network) Step(power []float64) {
+	if len(power) != len(n.temps) {
+		panic(fmt.Sprintf("thermal: Step with %d powers for %d blocks", len(power), len(n.temps)))
+	}
+	dt := n.cfg.CycleTime
+	sink := n.cfg.SinkTemp
+	if n.adj == nil {
+		for i, t := range n.temps {
+			flow := power[i] - (t-sink)*n.rInv[i]
+			n.temps[i] = t + dt*flow*n.cInv[i]
+		}
+		return
+	}
+	// Tangential variant: evaluate lateral flows against the pre-step
+	// temperatures so the update stays symmetric.
+	prev := append([]float64(nil), n.temps...)
+	for i, t := range prev {
+		flow := power[i] - (t-sink)*n.rInv[i]
+		for k, j := range n.adj[i] {
+			flow -= (t - prev[j]) * n.gTan[i][k]
+		}
+		n.temps[i] = t + dt*flow*n.cInv[i]
+	}
+}
+
+// StepN advances the network by cycles cycles of *constant* per-node power
+// using the exact exponential solution per node:
+//
+//	T(t) = Tss + (T0 - Tss) * exp(-t/RC),  Tss = Tsink + P*R
+//
+// It ignores tangential coupling (exact only for the Figure 3C model) and
+// is used to fast-forward warm-up or idle periods.
+func (n *Network) StepN(power []float64, cycles uint64) {
+	if len(power) != len(n.temps) {
+		panic(fmt.Sprintf("thermal: StepN with %d powers for %d blocks", len(power), len(n.temps)))
+	}
+	t := n.cfg.CycleTime * float64(cycles)
+	for i := range n.temps {
+		tss := n.cfg.SinkTemp + power[i]*n.blocks[i].R
+		k := math.Exp(-t / (n.blocks[i].R * n.blocks[i].C))
+		n.temps[i] = tss + (n.temps[i]-tss)*k
+	}
+}
+
+// Hottest returns the index and temperature of the hottest node.
+func (n *Network) Hottest() (idx int, temp float64) {
+	temp = math.Inf(-1)
+	for i, t := range n.temps {
+		if t > temp {
+			idx, temp = i, t
+		}
+	}
+	return idx, temp
+}
+
+// AnyAbove reports whether any node exceeds the threshold.
+func (n *Network) AnyAbove(threshold float64) bool {
+	for _, t := range n.temps {
+		if t > threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// SteadyState returns the steady-state temperature of node i under constant
+// power p: Tsink + p*R.
+func (n *Network) SteadyState(i int, p float64) float64 {
+	return n.cfg.SinkTemp + p*n.blocks[i].R
+}
+
+// TimeConstant returns node i's RC constant in seconds.
+func (n *Network) TimeConstant(i int) float64 {
+	return n.blocks[i].R * n.blocks[i].C
+}
+
+// LongestTimeConstant returns the largest block RC in seconds — the tau the
+// paper feeds into controller tuning ("we used the longest time constant of
+// the various blocks under study", Section 3.2).
+func (n *Network) LongestTimeConstant() float64 {
+	var tau float64
+	for i := range n.blocks {
+		if rc := n.TimeConstant(i); rc > tau {
+			tau = rc
+		}
+	}
+	return tau
+}
+
+// StepResponse returns the analytic single-node step response
+// T(t) = Tsink + P*R*(1 - exp(-t/RC)) starting from the sink temperature,
+// for validating the numerical integration.
+func StepResponse(b floorplan.Block, sink, p, t float64) float64 {
+	return sink + p*b.R*(1-math.Exp(-t/(b.R*b.C)))
+}
+
+// ChipModel is the whole-chip package node of Section 4.1: total chip power
+// flowing through the die-to-case and heatsink resistances into ambient,
+// with the heatsink capacitance giving a time constant of tens of seconds.
+// It models the slow drift of the per-block model's "constant" heatsink
+// temperature and reproduces the paper's back-of-envelope example
+// (25 W * 2 K/W + 27 C = 77 C, tau ~ 1 minute).
+type ChipModel struct {
+	// R is the total thermal resistance junction-to-ambient in K/W.
+	R float64
+	// C is the package/heatsink thermal capacitance in J/K.
+	C float64
+	// Ambient is the ambient temperature in Celsius.
+	Ambient float64
+	// T is the current chip temperature in Celsius.
+	T float64
+}
+
+// NewChipModel returns the chip node initialized to ambient.
+func NewChipModel(r, c, ambient float64) *ChipModel {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("thermal: invalid chip model R=%g C=%g", r, c))
+	}
+	return &ChipModel{R: r, C: c, Ambient: ambient, T: ambient}
+}
+
+// Step advances the chip node by dt seconds under total power p watts.
+func (m *ChipModel) Step(p, dt float64) {
+	tss := m.Ambient + p*m.R
+	m.T = tss + (m.T-tss)*math.Exp(-dt/(m.R*m.C))
+}
+
+// SteadyState returns the chip steady-state temperature under power p.
+func (m *ChipModel) SteadyState(p float64) float64 { return m.Ambient + p*m.R }
+
+// TimeConstant returns the package RC in seconds.
+func (m *ChipModel) TimeConstant() float64 { return m.R * m.C }

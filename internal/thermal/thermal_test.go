@@ -1,0 +1,310 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	return cfg
+}
+
+func TestNewInitializesAtSink(t *testing.T) {
+	n := New(testConfig())
+	if n.NumBlocks() != int(floorplan.NumBlocks) {
+		t.Fatalf("blocks = %d, want %d", n.NumBlocks(), floorplan.NumBlocks)
+	}
+	for i := 0; i < n.NumBlocks(); i++ {
+		if n.Temp(i) != 100.0 {
+			t.Errorf("block %d initial temp = %v, want 100", i, n.Temp(i))
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	cases := []Config{
+		{},
+		{Blocks: floorplan.Default()}, // zero cycle time
+		{Blocks: floorplan.Default(), CycleTime: -1},  // negative dt
+		{Blocks: []floorplan.Block{{}}, CycleTime: 1}, // zero R/C
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStepPanicsOnLengthMismatch(t *testing.T) {
+	n := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step with wrong power length did not panic")
+		}
+	}()
+	n.Step([]float64{1})
+}
+
+// The forward-Euler integration must track the analytic exponential step
+// response closely at the paper's cycle-level dt.
+func TestStepMatchesAnalyticResponse(t *testing.T) {
+	cfg := testConfig()
+	n := New(cfg)
+	power := make([]float64, n.NumBlocks())
+	for i := range power {
+		power[i] = n.Block(i).PeakPower
+	}
+	// Advance one time constant of the slowest block (~180 us) using a
+	// coarser dt to keep the test fast; dt = 10 ns is still tiny vs RC.
+	cfg2 := cfg
+	cfg2.CycleTime = 10e-9
+	n2 := New(cfg2)
+	tau := n2.LongestTimeConstant()
+	steps := uint64(tau / cfg2.CycleTime)
+	for s := uint64(0); s < steps; s++ {
+		n2.Step(power)
+	}
+	elapsed := float64(steps) * cfg2.CycleTime
+	for i := 0; i < n2.NumBlocks(); i++ {
+		want := StepResponse(n2.Block(i), cfg.SinkTemp, power[i], elapsed)
+		if got := n2.Temp(i); math.Abs(got-want) > 0.02 {
+			t.Errorf("block %v: T=%v, analytic %v", n2.Block(i).ID, got, want)
+		}
+	}
+	_ = n
+}
+
+func TestStepNMatchesAnalytic(t *testing.T) {
+	cfg := testConfig()
+	n := New(cfg)
+	power := make([]float64, n.NumBlocks())
+	for i := range power {
+		power[i] = 5.0
+	}
+	const cycles = 1_000_000
+	n.StepN(power, cycles)
+	elapsed := cfg.CycleTime * cycles
+	for i := 0; i < n.NumBlocks(); i++ {
+		want := StepResponse(n.Block(i), cfg.SinkTemp, power[i], elapsed)
+		if got := n.Temp(i); math.Abs(got-want) > 1e-9 {
+			t.Errorf("block %d: StepN=%v, analytic %v", i, got, want)
+		}
+	}
+}
+
+func TestSteadyStateReached(t *testing.T) {
+	n := New(testConfig())
+	power := make([]float64, n.NumBlocks())
+	for i := range power {
+		power[i] = n.Block(i).PeakPower
+	}
+	// 10 time constants of the slowest block.
+	n.StepN(power, uint64(10*n.LongestTimeConstant()/(1.0/1.5e9)))
+	for i := 0; i < n.NumBlocks(); i++ {
+		want := n.SteadyState(i, power[i])
+		if math.Abs(n.Temp(i)-want) > 1e-3 {
+			t.Errorf("block %d: T=%v, steady state %v", i, n.Temp(i), want)
+		}
+	}
+}
+
+// Peak power must be able to push every block past the emergency threshold
+// (Table 3 calibration: at least one benchmark puts each structure within
+// reach of emergency).
+func TestPeakPowerExceedsEmergency(t *testing.T) {
+	const emergency = 111.3
+	n := New(testConfig())
+	for i := 0; i < n.NumBlocks(); i++ {
+		ss := n.SteadyState(i, n.Block(i).PeakPower)
+		if ss <= emergency {
+			t.Errorf("block %v peak steady state %v <= emergency %v",
+				n.Block(i).ID, ss, emergency)
+		}
+		// ...but not absurdly beyond the "up to ~12-14 C" local rise.
+		if ss > 100+16 {
+			t.Errorf("block %v peak rise %v C exceeds expected envelope",
+				n.Block(i).ID, ss-100)
+		}
+	}
+}
+
+func TestCoolingDecaysTowardSink(t *testing.T) {
+	n := New(testConfig())
+	zero := make([]float64, n.NumBlocks())
+	for i := 0; i < n.NumBlocks(); i++ {
+		n.SetTemp(i, 112)
+	}
+	n.StepN(zero, uint64(10*n.LongestTimeConstant()/(1.0/1.5e9)))
+	for i := 0; i < n.NumBlocks(); i++ {
+		if math.Abs(n.Temp(i)-100) > 1e-3 {
+			t.Errorf("block %d did not cool to sink: %v", i, n.Temp(i))
+		}
+	}
+}
+
+func TestHottestAndAnyAbove(t *testing.T) {
+	n := New(testConfig())
+	n.SetTemp(3, 111.5)
+	idx, temp := n.Hottest()
+	if idx != 3 || temp != 111.5 {
+		t.Errorf("hottest = %d@%v, want 3@111.5", idx, temp)
+	}
+	if !n.AnyAbove(111.3) {
+		t.Error("AnyAbove(111.3) = false with a 111.5 block")
+	}
+	if n.AnyAbove(112) {
+		t.Error("AnyAbove(112) = true with max 111.5")
+	}
+}
+
+func TestResetAndTempsCopy(t *testing.T) {
+	n := New(testConfig())
+	n.SetTemp(0, 200)
+	got := n.Temps(nil)
+	if got[0] != 200 {
+		t.Errorf("Temps()[0] = %v, want 200", got[0])
+	}
+	got[0] = -1 // must be a copy
+	if n.Temp(0) != 200 {
+		t.Error("Temps returned aliased storage")
+	}
+	n.Reset()
+	if n.Temp(0) != n.SinkTemp() {
+		t.Errorf("after reset temp = %v, want sink", n.Temp(0))
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	n := New(testConfig())
+	i, ok := n.Index(floorplan.BPred)
+	if !ok || n.Block(i).ID != floorplan.BPred {
+		t.Errorf("Index(BPred) = %d,%v", i, ok)
+	}
+	if _, ok := n.Index(floorplan.Chip); ok {
+		t.Error("Index(Chip) found in per-structure network")
+	}
+}
+
+// Property: temperatures never move away from the band [min(T0,Tss),
+// max(T0,Tss)] under constant power — the RC node is first-order with no
+// overshoot.
+func TestNoOvershootProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.CycleTime = 50e-9
+	f := func(p8 uint8, t8 uint8, steps16 uint16) bool {
+		p := float64(p8) / 16.0 // 0..16 W
+		t0 := 90 + float64(t8)/8.0
+		n := New(cfg)
+		n.SetTemp(0, t0)
+		tss := n.SteadyState(0, p)
+		lo, hi := math.Min(t0, tss), math.Max(t0, tss)
+		power := make([]float64, n.NumBlocks())
+		power[0] = p
+		for s := 0; s < int(steps16%2000); s++ {
+			n.Step(power)
+			if n.Temp(0) < lo-1e-9 || n.Temp(0) > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With tangential coupling enabled, total energy still flows downhill:
+// a hot block warms its cooler neighbor.
+func TestTangentialCouplingWarmsNeighbor(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tangential = true
+	cfg.CycleTime = 50e-9
+	n := New(cfg)
+	iLSQ, _ := n.Index(floorplan.LSQ)
+	iWin, _ := n.Index(floorplan.Window)
+	n.SetTemp(iLSQ, 112)
+	zero := make([]float64, n.NumBlocks())
+	for s := 0; s < 100000; s++ {
+		n.Step(zero)
+	}
+	if n.Temp(iWin) <= 100 {
+		t.Errorf("neighbor window not warmed: %v", n.Temp(iWin))
+	}
+	// And the effect must be small relative to the normal path — the
+	// paper's justification for dropping Rtan.
+	if n.Temp(iWin) > 100.5 {
+		t.Errorf("tangential warming %v C unexpectedly large", n.Temp(iWin)-100)
+	}
+}
+
+// Tangential coupling must barely perturb the temperatures relative to the
+// simplified model (Figure 3C vs 3B) — the paper's Section 4.3 claim.
+func TestTangentialIsSecondOrder(t *testing.T) {
+	base := testConfig()
+	base.CycleTime = 100e-9
+	tan := base
+	tan.Tangential = true
+	n1, n2 := New(base), New(tan)
+	power := make([]float64, n1.NumBlocks())
+	for i := range power {
+		power[i] = n1.Block(i).PeakPower * float64(i%3) / 2.0
+	}
+	for s := 0; s < 200000; s++ {
+		n1.Step(power)
+		n2.Step(power)
+	}
+	for i := 0; i < n1.NumBlocks(); i++ {
+		d := math.Abs(n1.Temp(i) - n2.Temp(i))
+		// Second-order means well under the ~10 C rises involved; the
+		// small regfile (three neighbors, lowest capacitance) shifts
+		// the most at ~0.6 C.
+		if d > 1.0 {
+			t.Errorf("block %d: |simplified - tangential| = %v C", i, d)
+		}
+	}
+}
+
+func TestChipModelPaperExample(t *testing.T) {
+	// Section 4.1: 25 W, 1 K/W die-to-case + 1 K/W heatsink, 27 C ambient
+	// => 77 C steady state; C=60 J/K => tau ~ 1 minute.
+	m := NewChipModel(2.0, 60, 27)
+	if got := m.SteadyState(25); math.Abs(got-77) > 1e-12 {
+		t.Errorf("steady state = %v, want 77", got)
+	}
+	if tau := m.TimeConstant(); math.Abs(tau-120) > 1e-9 {
+		t.Errorf("tau = %v, want 120 s (~minutes)", tau)
+	}
+	m.Step(25, 1e9) // effectively infinite time
+	if math.Abs(m.T-77) > 1e-6 {
+		t.Errorf("after long step T = %v, want 77", m.T)
+	}
+}
+
+func TestChipModelPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChipModel(0,0,..) did not panic")
+		}
+	}()
+	NewChipModel(0, 0, 27)
+}
+
+// The paper's central observation: localized heating is orders of magnitude
+// faster than chip-wide heating.
+func TestLocalizedHeatingMuchFasterThanChipWide(t *testing.T) {
+	n := New(testConfig())
+	chip := NewChipModel(0.34, 60, 45)
+	ratio := chip.TimeConstant() / n.LongestTimeConstant()
+	if ratio < 1e4 {
+		t.Errorf("chip tau / block tau = %v, want >= 1e4", ratio)
+	}
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// wellFormed parses the SVG as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg := LineChart(ChartConfig{
+		Title:  "gcc temperature <PI>",
+		XLabel: "cycle",
+		YLabel: "C",
+		HLines: map[string]float64{"emergency": 111.3, "trigger": 110.9},
+	}, Series{
+		Name: "hottest",
+		Xs:   []float64{0, 1000, 2000, 3000},
+		Ys:   []float64{100, 108, 111, 111.1},
+	}, Series{
+		Name: "duty",
+		Xs:   []float64{0, 1000, 2000, 3000},
+		Ys:   []float64{111, 111, 110, 110.5},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "emergency", "hottest", "duty", "&lt;PI&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<PI>") {
+		t.Error("unescaped title in SVG")
+	}
+}
+
+func TestLineChartDegenerateInputs(t *testing.T) {
+	// Empty series and constant values must not divide by zero.
+	svg := LineChart(ChartConfig{}, Series{Name: "flat", Xs: []float64{1, 2}, Ys: []float64{5, 5}})
+	wellFormed(t, svg)
+	svg = LineChart(ChartConfig{}, Series{Name: "empty"})
+	wellFormed(t, svg)
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(span{0, 100}, 5)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	if heatColor(0) != "#3b4cc0" {
+		t.Errorf("cold color = %s", heatColor(0))
+	}
+	if heatColor(1) != "#b40426" {
+		t.Errorf("hot color = %s", heatColor(1))
+	}
+	// Clamping.
+	if heatColor(-5) != heatColor(0) || heatColor(5) != heatColor(1) {
+		t.Error("heat color does not clamp")
+	}
+}
+
+func TestFloorplanHeatmap(t *testing.T) {
+	layout := floorplan.DefaultLayout()
+	temps := map[floorplan.BlockID]float64{}
+	for id := range layout.Rects {
+		temps[id] = 101 + float64(id)
+	}
+	svg := FloorplanHeatmap(HeatmapConfig{
+		Title: "gcc peak temperatures",
+		Marks: map[string]float64{"D": 111.3},
+	}, layout, temps)
+	wellFormed(t, svg)
+	for _, id := range floorplan.Blocks() {
+		if !strings.Contains(svg, id.String()) {
+			t.Errorf("heatmap missing block %v", id)
+		}
+	}
+}
+
+func TestFloorplanHeatmapAutoScaleEmpty(t *testing.T) {
+	svg := FloorplanHeatmap(HeatmapConfig{}, floorplan.DefaultLayout(), nil)
+	wellFormed(t, svg)
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_000_000: "2M",
+		15000:     "15k",
+		3:         "3",
+		0.25:      "0.25",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

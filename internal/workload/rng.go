@@ -1,0 +1,56 @@
+package workload
+
+// rng is a small deterministic xorshift64* generator. The simulator cannot
+// use math/rand's global state because every benchmark run must be exactly
+// reproducible from its profile seed (the paper uses SimpleScalar EIO
+// traces "to ensure reproducible results ... across multiple simulations").
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64-bit value.
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// geometric returns a sample >= 1 from a geometric distribution with the
+// given mean (mean must be >= 1).
+func (r *rng) geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.float() > p && n < 64 {
+		n++
+	}
+	return n
+}
+
+// bernoulli returns true with probability p.
+func (r *rng) bernoulli(p float64) bool { return r.float() < p }

@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Source supplies instructions to the pipeline: the live Generator or a
+// recorded trace (TraceSource). This mirrors SimpleScalar's EIO mechanism
+// (Section 5.4): the paper records external I/O traces so every simulation
+// of a benchmark replays identically; here a recorded micro-op trace plays
+// the same role.
+type Source interface {
+	// Next returns the next correct-path micro-op.
+	Next() isa.MicroOp
+	// PeekPC returns the next correct-path fetch address.
+	PeekPC() uint64
+	// WrongPath synthesizes a wrong-path micro-op at pc.
+	WrongPath(pc uint64) isa.MicroOp
+}
+
+var _ Source = (*Generator)(nil)
+
+// Trace file layout: magic, version, count, then per-op records with
+// varint-delta encoding (PCs and addresses are strongly local, so deltas
+// keep traces a few bytes per op).
+const (
+	traceMagic   = 0x54524143 // "TRAC"
+	traceVersion = 1
+)
+
+// op record flags.
+const (
+	flagTaken = 1 << iota
+	flagHasSrc1
+	flagHasSrc2
+	flagHasDest
+	flagHasAddr
+	flagHasTarget
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteTrace records n correct-path micro-ops from src to w. The stream it
+// consumes is exactly the stream a pipeline would have fetched, so a
+// replayed simulation is instruction-identical to a live one.
+func WriteTrace(w io.Writer, src Source, n uint64) error {
+	bw := bufio.NewWriter(w)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], n)
+	if _, err := bw.Write(hdr[:16]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	var prevPC, prevAddr, prevTarget uint64
+	for i := uint64(0); i < n; i++ {
+		op := src.Next()
+		var flags byte
+		if op.Taken {
+			flags |= flagTaken
+		}
+		if op.Src1 != isa.RegNone {
+			flags |= flagHasSrc1
+		}
+		if op.Src2 != isa.RegNone {
+			flags |= flagHasSrc2
+		}
+		if op.Dest != isa.RegNone {
+			flags |= flagHasDest
+		}
+		if op.Class.IsMem() {
+			flags |= flagHasAddr
+		}
+		if op.Class.IsCtrl() {
+			flags |= flagHasTarget
+		}
+		if err := bw.WriteByte(byte(op.Class)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := putUvarint(zigzag(int64(op.PC) - int64(prevPC))); err != nil {
+			return err
+		}
+		prevPC = op.PC
+		if flags&flagHasSrc1 != 0 {
+			if err := bw.WriteByte(byte(op.Src1)); err != nil {
+				return err
+			}
+		}
+		if flags&flagHasSrc2 != 0 {
+			if err := bw.WriteByte(byte(op.Src2)); err != nil {
+				return err
+			}
+		}
+		if flags&flagHasDest != 0 {
+			if err := bw.WriteByte(byte(op.Dest)); err != nil {
+				return err
+			}
+		}
+		if flags&flagHasAddr != 0 {
+			if err := putUvarint(zigzag(int64(op.Addr) - int64(prevAddr))); err != nil {
+				return err
+			}
+			prevAddr = op.Addr
+		}
+		if flags&flagHasTarget != 0 {
+			if err := putUvarint(zigzag(int64(op.Target) - int64(prevTarget))); err != nil {
+				return err
+			}
+			prevTarget = op.Target
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceSource replays a recorded trace as an instruction Source. When the
+// trace is exhausted it wraps around (with continuing sequence numbers),
+// so arbitrarily long simulations can run from a finite recording.
+type TraceSource struct {
+	ops   []isa.MicroOp
+	pos   int
+	seq   uint64
+	wpRnd *rng
+	// classHist drives wrong-path synthesis with the trace's own mix.
+	classHist [isa.NumOpClasses]int
+	wsLo      uint64
+	wsSpan    uint64
+}
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*TraceSource, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	const maxTraceOps = 1 << 28
+	if n > maxTraceOps {
+		return nil, fmt.Errorf("workload: trace with %d ops exceeds limit", n)
+	}
+	ts := &TraceSource{
+		ops:   make([]isa.MicroOp, 0, n),
+		wpRnd: newRNG(0x7ace7ace7ace7ace),
+		wsLo:  ^uint64(0),
+	}
+	var prevPC, prevAddr, prevTarget uint64
+	for i := uint64(0); i < n; i++ {
+		cls, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace: %w", err)
+		}
+		if int(cls) >= isa.NumOpClasses {
+			return nil, fmt.Errorf("workload: bad op class %d", cls)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		op := isa.MicroOp{
+			Class: isa.OpClass(cls),
+			Seq:   i,
+			Src1:  isa.RegNone,
+			Src2:  isa.RegNone,
+			Dest:  isa.RegNone,
+			Taken: flags&flagTaken != 0,
+		}
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		op.PC = uint64(int64(prevPC) + unzigzag(d))
+		prevPC = op.PC
+		if flags&flagHasSrc1 != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			op.Src1 = int16(b)
+		}
+		if flags&flagHasSrc2 != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			op.Src2 = int16(b)
+		}
+		if flags&flagHasDest != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			op.Dest = int16(b)
+		}
+		if flags&flagHasAddr != 0 {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			op.Addr = uint64(int64(prevAddr) + unzigzag(d))
+			prevAddr = op.Addr
+			if op.Addr < ts.wsLo {
+				ts.wsLo = op.Addr
+			}
+			if op.Addr > ts.wsLo+ts.wsSpan {
+				ts.wsSpan = op.Addr - ts.wsLo
+			}
+		}
+		if flags&flagHasTarget != 0 {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			op.Target = uint64(int64(prevTarget) + unzigzag(d))
+			prevTarget = op.Target
+		}
+		ts.classHist[op.Class]++
+		ts.ops = append(ts.ops, op)
+	}
+	if ts.wsSpan == 0 {
+		ts.wsSpan = 4096
+	}
+	return ts, nil
+}
+
+// Len returns the number of recorded ops.
+func (ts *TraceSource) Len() int { return len(ts.ops) }
+
+// Next implements Source, wrapping at the end of the recording.
+func (ts *TraceSource) Next() isa.MicroOp {
+	op := ts.ops[ts.pos]
+	op.Seq = ts.seq
+	ts.seq++
+	ts.pos++
+	if ts.pos == len(ts.ops) {
+		ts.pos = 0
+	}
+	return op
+}
+
+// PeekPC implements Source.
+func (ts *TraceSource) PeekPC() uint64 { return ts.ops[ts.pos].PC }
+
+// WrongPath implements Source: synthesized non-control ops whose class mix
+// follows the recording and whose loads fall inside the recorded
+// working-set span.
+func (ts *TraceSource) WrongPath(pc uint64) isa.MicroOp {
+	// Sample a non-control, non-store class from the histogram.
+	total := 0
+	for c := 0; c < isa.NumOpClasses; c++ {
+		cls := isa.OpClass(c)
+		if cls.IsCtrl() || cls == isa.OpStore || cls == isa.OpNop {
+			continue
+		}
+		total += ts.classHist[c]
+	}
+	cls := isa.OpIntALU
+	if total > 0 {
+		x := int(ts.wpRnd.next() % uint64(total))
+		for c := 0; c < isa.NumOpClasses; c++ {
+			cc := isa.OpClass(c)
+			if cc.IsCtrl() || cc == isa.OpStore || cc == isa.OpNop {
+				continue
+			}
+			if x < ts.classHist[c] {
+				cls = cc
+				break
+			}
+			x -= ts.classHist[c]
+		}
+	}
+	op := isa.MicroOp{
+		Seq:   ^uint64(0),
+		PC:    pc,
+		Class: cls,
+		Src1:  int16(ts.wpRnd.intn(32)),
+		Src2:  isa.RegNone,
+		Dest:  int16(ts.wpRnd.intn(32)),
+	}
+	if cls.IsFP() {
+		op.Src1 += 32
+		op.Dest += 32
+	}
+	if cls == isa.OpLoad {
+		op.Addr = ts.wsLo + (ts.wpRnd.next()%ts.wsSpan)&^7
+	}
+	return op
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, err := NewGenerator(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != n {
+		t.Fatalf("trace len = %d, want %d", ts.Len(), n)
+	}
+	// Replay must be op-for-op identical to a fresh generator.
+	ref, _ := NewGenerator(testProfile())
+	for i := 0; i < n; i++ {
+		want := ref.Next()
+		if ts.PeekPC() != want.PC {
+			t.Fatalf("op %d: PeekPC %#x, want %#x", i, ts.PeekPC(), want.PC)
+		}
+		got := ts.Next()
+		if got != want {
+			t.Fatalf("op %d differs:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	// Wrap-around: sequence numbers keep increasing, ops repeat.
+	first := ts.Next()
+	if first.Seq != n {
+		t.Errorf("wrapped seq = %d, want %d", first.Seq, n)
+	}
+	refWrap, _ := NewGenerator(testProfile())
+	want := refWrap.Next()
+	want.Seq = n
+	if first != want {
+		t.Errorf("wrapped op differs: %+v vs %+v", first, want)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	g, _ := NewGenerator(testProfile())
+	const n = 20_000
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	if perOp := float64(buf.Len()) / n; perOp > 12 {
+		t.Errorf("trace uses %.1f bytes/op, want compact (< 12)", perOp)
+	}
+}
+
+func TestTraceWrongPathSynthesis(t *testing.T) {
+	g, _ := NewGenerator(testProfile())
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLoad := false
+	for i := 0; i < 2000; i++ {
+		wp := ts.WrongPath(0x9000_0000)
+		if wp.Class.IsCtrl() || wp.Class == isa.OpStore {
+			t.Fatalf("wrong-path class %v", wp.Class)
+		}
+		if wp.Class == isa.OpLoad {
+			sawLoad = true
+			if wp.Addr == 0 {
+				t.Fatal("wrong-path load without address")
+			}
+		}
+	}
+	if !sawLoad {
+		t.Error("wrong-path synthesis never produced a load despite loads in trace")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Error("zero magic accepted")
+	}
+	// Truncated body.
+	g, _ := NewGenerator(testProfile())
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 1000); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), -9e15} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
