@@ -439,6 +439,33 @@ func BenchmarkPIDUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkBaselineBatch measures a full uncontrolled-suite regeneration
+// through the parallel experiment engine, serial (1 worker) versus
+// parallel (GOMAXPROCS workers). The ratio of the two is the engine's
+// wall-time speedup on this host; cmd/benchrec records it to
+// BENCH_runner.json.
+func BenchmarkBaselineBatch(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := benchParams()
+			p.Insts = 200_000
+			p.Workers = tc.workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Baseline(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(bench.Names()) {
+					b.Fatalf("got %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFullSystemCyclesPerSecond(b *testing.B) {
 	prof, err := bench.ByName("mesa")
 	if err != nil {

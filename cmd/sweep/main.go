@@ -3,6 +3,10 @@
 // discussions in Sections 2.1 (trigger level, policy delay) and 5.3
 // (sampling interval, setpoint).
 //
+// All sweep points (and the baseline) run concurrently through the
+// parallel experiment engine; Ctrl-C aborts mid-sweep, and the engine's
+// per-run throughput metrics are summarized on stderr.
+//
 //	sweep -param setpoint -bench gcc -policy PI
 //	sweep -param interval -bench gcc -policy PID
 //	sweep -param delay    -bench gcc            # toggle1 policy delay
@@ -10,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
 	"repro/internal/dtm"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -25,14 +32,14 @@ func main() {
 		benchName = flag.String("bench", "gcc", "benchmark")
 		policy    = flag.String("policy", "PI", "controller for setpoint/interval sweeps")
 		insts     = flag.Uint64("insts", 1_000_000, "committed instructions per point")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	prof, err := bench.ByName(*benchName)
-	if err != nil {
-		fatal(err)
-	}
-	base, err := sim.Run(sim.Config{Workload: prof, MaxInsts: *insts})
 	if err != nil {
 		fatal(err)
 	}
@@ -89,18 +96,35 @@ func main() {
 		fatal(fmt.Errorf("unknown parameter %q", *param))
 	}
 
-	fmt.Printf("%s,ipc,pct_of_base,emerg_pct,stress_pct,avg_duty,engagements\n", *param)
+	// Baseline rides along as job 0 so the whole sweep is one batch.
+	jobs := make([]runner.Job[*sim.Result], 0, len(points)+1)
+	jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
+		return sim.RunContext(ctx, sim.Config{Workload: prof, MaxInsts: *insts})
+	})
 	for _, pt := range points {
-		res, err := sim.Run(pt.cfg)
-		if err != nil {
-			fatal(err)
-		}
+		cfg := pt.cfg
+		jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
+			return sim.RunContext(ctx, cfg)
+		})
+	}
+	outs, err := runner.Run(ctx, runner.Options{Workers: *workers}, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	base := outs[0].Value
+
+	fmt.Printf("%s,ipc,pct_of_base,emerg_pct,stress_pct,avg_duty,engagements\n", *param)
+	for i, pt := range points {
+		res := outs[i+1].Value
 		fmt.Printf("%s,%.4f,%.2f,%.3f,%.3f,%.3f,%d\n",
 			pt.label, res.IPC, 100*res.IPC/base.IPC,
 			100*res.EmergencyFrac(), 100*res.StressFrac(),
 			res.AvgDuty, res.Engagements)
 	}
+	total := runner.TotalMetrics(outs)
 	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergencyFrac())
+	fmt.Fprintf(os.Stderr, "sweep: %d runs, %d cycles, %.0f cycles/s/worker\n",
+		len(outs), total.Cycles, total.CyclesPerSec)
 }
 
 func fatal(err error) {

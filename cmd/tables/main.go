@@ -1,35 +1,61 @@
 // Command tables regenerates the paper's tables (see DESIGN.md for the
 // experiment index). With no flags it prints every table; -table selects
-// one.
+// one. Batches run through the parallel experiment engine: Ctrl-C aborts
+// cleanly mid-batch, and -progress reports per-run completion on stderr.
 //
 //	tables                 # everything (several minutes)
 //	tables -table 4        # benchmark characterization only
 //	tables -insts 500000   # quicker, lower-fidelity runs
+//	tables -workers 4      # bound batch parallelism
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "table number to regenerate (0 = all)")
-		insts = flag.Uint64("insts", 2_000_000, "committed instructions per run")
+		table    = flag.Int("table", 0, "table number to regenerate (0 = all)")
+		insts    = flag.Uint64("insts", 2_000_000, "committed instructions per run")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", true, "report per-run batch progress on stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := experiments.DefaultParams()
 	p.Insts = *insts
+	p.Context = ctx
+	p.Workers = *workers
+	if *progress {
+		p.Progress = func(pr runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%d failed, %v)  ",
+				pr.Done, pr.Total, pr.Failed, pr.Elapsed.Round(time.Second))
+			if pr.Done == pr.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	want := func(n int) bool { return *table == 0 || *table == n }
 	die := func(err error) {
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "\ninterrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -8,13 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/viz"
 )
 
@@ -29,12 +34,22 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := experiments.DefaultParams()
 	p.Insts = *insts
-	res, err := experiments.Trace(p, *benchName, *policy, *stride)
+	p.Context = ctx
+	// Run through the engine for Ctrl-C abort and throughput metrics.
+	outs, err := runner.Run(ctx, runner.Options{}, []runner.Job[*sim.Result]{
+		func(context.Context) (*sim.Result, error) {
+			return experiments.Trace(p, *benchName, *policy, *stride)
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
+	res, m := outs[0].Value, outs[0].Metrics
 
 	if *svgPath != "" {
 		xs := make([]float64, len(res.TempTrace.Xs))
@@ -97,8 +112,9 @@ func main() {
 			fmt.Println()
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s under %s: IPC=%.3f emerg=%.2f%% avg duty=%.2f\n",
-		res.Benchmark, res.Policy, res.IPC, 100*res.EmergencyFrac(), res.AvgDuty)
+	fmt.Fprintf(os.Stderr, "%s under %s: IPC=%.3f emerg=%.2f%% avg duty=%.2f (%d cycles in %v, %.2g cycles/s)\n",
+		res.Benchmark, res.Policy, res.IPC, 100*res.EmergencyFrac(), res.AvgDuty,
+		m.Cycles, m.Wall.Round(time.Millisecond), m.CyclesPerSec)
 }
 
 func fatal(err error) {

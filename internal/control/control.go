@@ -364,6 +364,13 @@ func Quantize(u float64, n int) float64 {
 	if n < 2 {
 		panic(fmt.Sprintf("control: need >= 2 actuator levels, got %d", n))
 	}
+	if math.IsNaN(u) {
+		// A divergent controller must not poison the actuator: NaN
+		// compares false against every bound below and math.Round(NaN)
+		// stays NaN, which would latch the fetch duty at NaN forever.
+		// Fail toward full speed and let the thermal trigger re-engage.
+		return 1
+	}
 	if u <= 0 {
 		return 0
 	}

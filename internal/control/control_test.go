@@ -396,3 +396,32 @@ func TestSettlingWithinFewTimeConstants(t *testing.T) {
 		t.Errorf("settling time = %v s, want within 10 tau (%v)", st, 10*p.Tau)
 	}
 }
+
+func TestQuantizeNaNFailsToFullSpeed(t *testing.T) {
+	// A divergent controller emitting NaN must not latch the actuator:
+	// Quantize fails toward full speed so the thermal trigger can
+	// re-engage a healthy policy.
+	if got := Quantize(math.NaN(), 8); got != 1 {
+		t.Errorf("Quantize(NaN, 8) = %v, want 1", got)
+	}
+	if got := Quantize(math.NaN(), 2); got != 1 {
+		t.Errorf("Quantize(NaN, 2) = %v, want 1", got)
+	}
+}
+
+func TestPIDUpdateStaysFiniteForFiniteInputs(t *testing.T) {
+	// Guard: no finite measurement sequence may produce a NaN command.
+	for _, kind := range []Kind{KindP, KindPI, KindPID} {
+		g := MustTune(paperPlant(), Spec{Kind: kind})
+		c := NewPID(g, 111.1, 0.2, paperTs)
+		for i, m := range []float64{100, 150, -40, 111.1, 1e6, -1e6, 111.3, 0} {
+			u := c.Update(m)
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				t.Fatalf("%v: Update #%d (%v) = %v", kind, i, m, u)
+			}
+			if u < 0 || u > 1 {
+				t.Fatalf("%v: Update #%d (%v) = %v outside [0,1]", kind, i, m, u)
+			}
+		}
+	}
+}

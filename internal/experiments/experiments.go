@@ -7,14 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/floorplan"
 	"repro/internal/pipeline"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -28,6 +28,21 @@ type Params struct {
 	Insts uint64
 	// Policies lists the DTM policies for the evaluation tables.
 	Policies []string
+	// Context, when non-nil, cancels in-flight batches (the first error
+	// in a batch also aborts it). Nil means Background.
+	Context context.Context
+	// Workers bounds batch parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, observes every batch's per-run completion.
+	Progress func(runner.Progress)
+}
+
+// ctx returns the effective batch context.
+func (p Params) ctx() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
 }
 
 // DefaultParams returns the standard reproduction scale.
@@ -46,42 +61,26 @@ type runSpec struct {
 	cfg      func(*sim.Config)
 }
 
-// runBatch executes specs concurrently (bounded by GOMAXPROCS) and returns
-// results in spec order.
+// runBatch executes specs through the parallel experiment engine: bounded
+// workers, first-error abort, panic-to-error conversion, per-run metrics.
+// Results come back in spec order.
 func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
-	results := make([]*sim.Result, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, sp := range specs {
-		wg.Add(1)
-		go func(i int, sp runSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
+	return runner.Map(p.ctx(), opts, specs,
+		func(ctx context.Context, sp runSpec) (*sim.Result, error) {
 			prof, err := bench.ByName(sp.bench)
 			if err != nil {
-				errs[i] = err
-				return
+				return nil, err
 			}
 			cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
 			if err := bench.ApplyPolicy(&cfg, sp.policy, sp.setpoint); err != nil {
-				errs[i] = err
-				return
+				return nil, err
 			}
 			if sp.cfg != nil {
 				sp.cfg(&cfg)
 			}
-			results[i], errs[i] = sim.Run(cfg)
-		}(i, sp)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+			return sim.RunContext(ctx, cfg)
+		})
 }
 
 // Baseline runs the whole suite uncontrolled and returns results in
@@ -425,7 +424,7 @@ func Trace(p Params, benchName, policy string, stride uint64) (*sim.Result, erro
 	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg)
+	return sim.RunContext(p.ctx(), cfg)
 }
 
 // SeedStats summarizes a benchmark's metric spread across workload seeds —
@@ -447,18 +446,25 @@ func SeedStudy(p Params, benchName, policy string, n int) (SeedStats, error) {
 	if err != nil {
 		return SeedStats{}, err
 	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base.Seed + uint64(i)*0x9e3779b97f4a7c15
+	}
+	results, err := runner.Map(p.ctx(), runner.Options{Workers: p.Workers, Progress: p.Progress}, seeds,
+		func(ctx context.Context, seed uint64) (*sim.Result, error) {
+			prof := base
+			prof.Seed = seed
+			cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
+			if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+				return nil, err
+			}
+			return sim.RunContext(ctx, cfg)
+		})
+	if err != nil {
+		return SeedStats{}, err
+	}
 	var ipc, emerg stats.Running
-	for i := 0; i < n; i++ {
-		prof := base
-		prof.Seed = base.Seed + uint64(i)*0x9e3779b97f4a7c15
-		cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
-		if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
-			return SeedStats{}, err
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return SeedStats{}, err
-		}
+	for _, res := range results {
 		ipc.Add(res.IPC)
 		emerg.Add(res.EmergencyFrac())
 	}

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/runner"
 )
 
 func smallParams() Params {
@@ -157,5 +161,43 @@ func TestProxyTablesShape(t *testing.T) {
 	}
 	if _, _, err := ProxyTables(Params{Insts: 1000}, []int{0}); err == nil {
 		t.Error("zero window accepted")
+	}
+}
+
+func TestBaselineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := smallParams()
+	p.Context = ctx
+	if _, err := Baseline(p); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled baseline error = %v, want context.Canceled", err)
+	}
+}
+
+func TestBaselineProgressAndWorkers(t *testing.T) {
+	p := smallParams()
+	p.Insts = 20_000
+	p.Workers = 2
+	var done atomic.Int64
+	p.Progress = func(pr runner.Progress) {
+		if pr.Total != len(bench.Names()) {
+			t.Errorf("progress total = %d, want %d", pr.Total, len(bench.Names()))
+		}
+		done.Store(int64(pr.Done))
+	}
+	res, err := Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(bench.Names()) {
+		t.Fatalf("got %d results", len(res))
+	}
+	if done.Load() != int64(len(bench.Names())) {
+		t.Errorf("final progress done = %d, want %d", done.Load(), len(bench.Names()))
+	}
+	for i, r := range res {
+		if r == nil || r.Benchmark != bench.Names()[i] {
+			t.Errorf("result %d out of order: %+v", i, r)
+		}
 	}
 }

@@ -16,6 +16,7 @@ package sensor
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 )
@@ -34,8 +35,10 @@ type Sensor struct {
 func (s Sensor) Read(trueTemp float64) float64 {
 	v := trueTemp + s.Offset
 	if s.Quantum > 0 {
-		steps := v / s.Quantum
-		v = s.Quantum * float64(int64(steps+0.5))
+		// math.Round, not int64(x+0.5): the conversion truncates toward
+		// zero, which mis-rounds readings that land negative after a
+		// calibration offset (e.g. -1.2 quanta would round to -0.7 -> 0).
+		v = s.Quantum * math.Round(v/s.Quantum)
 	}
 	return v
 }

@@ -193,3 +193,20 @@ func TestSelectSensorsFullSetZeroError(t *testing.T) {
 		t.Errorf("full coverage error = %v/%v", res.MaxError, res.MeanError)
 	}
 }
+
+func TestSensorNegativeOffsetRounding(t *testing.T) {
+	// A calibration offset that drives the reading negative used to be
+	// mis-rounded by int64(x+0.5) truncating toward zero.
+	s := Sensor{Offset: -102, Quantum: 1}
+	if got := s.Read(100.4); got != -2 { // -1.6 quanta -> nearest is -2
+		t.Errorf("Read(100.4) with offset -102 = %v, want -2", got)
+	}
+	if got := s.Read(100.8); got != -1 { // -1.2 quanta -> nearest is -1
+		t.Errorf("Read(100.8) with offset -102 = %v, want -1", got)
+	}
+	// Positive readings keep the old behavior.
+	s = Sensor{Quantum: 0.25}
+	if got := s.Read(111.4); math.Abs(got-111.5) > 1e-9 {
+		t.Errorf("Read(111.4) = %v, want 111.5", got)
+	}
+}

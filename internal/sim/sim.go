@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/control"
@@ -129,6 +130,11 @@ type Result struct {
 	Cycles      uint64
 	Insts       uint64
 	WallSeconds float64
+	// ThermalSeconds is the total time actually integrated by the thermal
+	// network. Under frequency scaling it tracks WallSeconds to within one
+	// cycle time (the fractional-step carry); without scaling they are
+	// identical.
+	ThermalSeconds float64
 
 	IPC             float64
 	AvgChipPower    float64
@@ -174,8 +180,83 @@ func (r *Result) InstsPerSecond() float64 {
 	return float64(r.Insts) / r.WallSeconds
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (*Result, error) {
+// CycleCount reports the simulated cycle count; it implements
+// runner.CycleCounter so batch engines can derive throughput metrics.
+func (r *Result) CycleCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.Cycles
+}
+
+// proxyPair couples the two Section 6 proxies for one window with the
+// ProxyResult they tally into.
+type proxyPair struct {
+	ps   *sensor.StructProxy
+	pc   *sensor.ChipProxy
+	comp *ProxyResult
+}
+
+// Sim is one simulation instance, steppable a cycle at a time. New
+// validates the configuration and allocates every buffer up front; Step
+// then runs allocation-free in the steady state, which is what makes the
+// per-cycle loop benchmarkable and the batch engine's throughput metrics
+// meaningful. Use Run/RunContext unless you need cycle-level control.
+type Sim struct {
+	cfg      Config
+	core     *pipeline.Core
+	pmodel   *power.Model
+	net      *thermal.Network
+	mgr      *dtm.Manager
+	chipNode *thermal.ChipModel
+	res      *Result
+
+	// Per-cycle state. Every slice is sized at construction.
+	act       pipeline.Activity
+	powerVec  []float64
+	temps     []float64
+	sensed    []float64
+	leakPeak  []float64 // hoisted net.Block(i).PeakPower lookups
+	blockTemp []stats.Running
+	chipPower stats.Running
+	proxies   []proxyPair
+	monitor   []int
+
+	dt         float64
+	duty       float64
+	dutySum    float64
+	freqFactor float64
+	stepCarry  float64 // fractional thermal unit-steps owed (freq scaling)
+	stallLeft  uint64
+	cycle      uint64
+
+	// Specialization flags, hoisted out of the hot loop so unconfigured
+	// features cost one predictable branch instead of interface/struct
+	// comparisons every cycle.
+	hasLeak    bool
+	hasSensor  bool
+	hasScaling bool
+	hasHier    bool
+	hasProxies bool
+	hasTrace   bool
+	finished   bool
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation, checking ctx for cancellation every
+// few thousand cycles so parallel batches can abort promptly.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
+}
+
+// New validates cfg and builds a steppable simulation.
+func New(cfg Config) (*Sim, error) {
 	if cfg.MaxInsts == 0 {
 		return nil, fmt.Errorf("sim: MaxInsts must be positive")
 	}
@@ -217,6 +298,10 @@ func Run(cfg Config) (*Result, error) {
 	tcfg.Tangential = cfg.Tangential
 	net := thermal.New(tcfg)
 	if cfg.InitTemps != nil {
+		if len(cfg.InitTemps) != net.NumBlocks() {
+			return nil, fmt.Errorf("sim: InitTemps has %d entries but the thermal network has %d blocks",
+				len(cfg.InitTemps), net.NumBlocks())
+		}
 		for i, t := range cfg.InitTemps {
 			net.SetTemp(i, t)
 		}
@@ -255,11 +340,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Proxies (Section 6).
-	type proxyPair struct {
-		ps   *sensor.StructProxy
-		pc   *sensor.ChipProxy
-		comp *ProxyResult
-	}
 	var proxies []proxyPair
 	if len(cfg.ProxyWindows) > 0 {
 		rs := make([]float64, nblk)
@@ -309,185 +389,259 @@ func Run(cfg Config) (*Result, error) {
 		chipNode.T = cfg.Thresholds.SinkTemp
 	}
 
-	var (
-		act        pipeline.Activity
-		powerVec   = make([]float64, nblk)
-		temps      = make([]float64, nblk)
-		sensed     = make([]float64, nblk)
-		blockTemp  = make([]stats.Running, nblk)
-		chipPower  stats.Running
-		dutySum    float64
-		dt         = tcfg.CycleTime
-		freqFactor = 1.0
-		stallLeft  uint64
-		cycle      uint64
-	)
-	duty := 1.0
-	net.Temps(temps) // prime last-cycle temperatures for the leakage term
+	s := &Sim{
+		cfg:      cfg,
+		core:     core,
+		pmodel:   pmodel,
+		net:      net,
+		mgr:      mgr,
+		chipNode: chipNode,
+		res:      res,
 
-	for core.Stats().Committed < cfg.MaxInsts && cycle < cfg.MaxCycles {
-		cycle++
-		stalled := stallLeft > 0
-		if stalled {
-			stallLeft--
-			res.StallCycles++
-			act.Reset() // clock runs but the pipeline is idle
-		} else {
-			core.Step(&act)
-		}
+		powerVec:  make([]float64, nblk),
+		temps:     make([]float64, nblk),
+		sensed:    make([]float64, nblk),
+		leakPeak:  make([]float64, nblk),
+		blockTemp: make([]stats.Running, nblk),
+		proxies:   proxies,
+		monitor:   monitorIdx,
 
-		// Power for this cycle.
-		pmodel.BlockPower(&act, powerVec)
-		pf := 1.0
-		if cfg.Scaling != nil {
-			pf = cfg.Scaling.PowerFactor()
-		}
-		if cfg.Hierarchy != nil {
-			pf = cfg.Hierarchy.PowerFactor()
-		}
-		if pf != 1 {
-			for i := range powerVec {
-				powerVec[i] *= pf
-			}
-		}
-		if cfg.Leakage != nil {
-			// Static power rides on top of the (possibly scaled)
-			// dynamic power, using last cycle's temperatures.
-			for i := range powerVec {
-				powerVec[i] += cfg.Leakage.Power(net.Block(i).PeakPower, temps[i])
-			}
-		}
-		chip := pmodel.ChipPower(&act, powerVec)
-		chipPower.Add(chip)
-		if chip > res.MaxChipPower {
-			res.MaxChipPower = chip
-		}
+		dt:         tcfg.CycleTime,
+		duty:       1,
+		freqFactor: 1,
 
-		// Thermal step at the effective clock period.
-		stepDt := dt / freqFactor
-		if stepDt != dt {
-			// Re-scale by stepping the network multiple unit steps
-			// is wasteful; exact single-step via StepN is also
-			// constant-power, so approximate the longer period with
-			// a scaled Euler step through repeated unit steps.
-			steps := int(stepDt/dt + 0.5)
-			for s := 0; s < steps; s++ {
-				net.Step(powerVec)
-			}
-		} else {
-			net.Step(powerVec)
-		}
-		res.WallSeconds += stepDt
+		hasLeak:    cfg.Leakage != nil,
+		hasSensor:  cfg.Sensor != (sensor.Sensor{}),
+		hasScaling: cfg.Scaling != nil,
+		hasHier:    cfg.Hierarchy != nil,
+		hasProxies: len(proxies) > 0,
+		hasTrace:   res.TempTrace != nil,
+	}
+	for i := 0; i < nblk; i++ {
+		s.leakPeak[i] = net.Block(i).PeakPower
+	}
+	net.Temps(s.temps) // prime last-cycle temperatures for the leakage term
+	return s, nil
+}
 
-		// Thermal bookkeeping.
-		net.Temps(temps)
-		anyEmerg, anyStress := false, false
-		for i, t := range temps {
-			blockTemp[i].Add(t)
-			br := &res.Blocks[i]
-			if t > br.MaxTemp {
-				br.MaxTemp = t
-			}
-			if t > cfg.Thresholds.Emergency {
-				br.EmergencyCycles++
-				anyEmerg = true
-			}
-			if t > cfg.Thresholds.Stress {
-				br.StressCycles++
-				anyStress = true
-			}
-		}
-		if anyEmerg {
-			res.EmergencyCycles++
-		}
-		if anyStress {
-			res.StressCycles++
-		}
+// Done reports whether the run has reached its instruction or cycle
+// budget.
+func (s *Sim) Done() bool {
+	return s.core.Stats().Committed >= s.cfg.MaxInsts || s.cycle >= s.cfg.MaxCycles
+}
 
-		// Proxies.
-		for _, pp := range proxies {
+// Cycle returns the number of cycles simulated so far.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// Step advances the simulation by one clock cycle: pipeline, power,
+// thermal network, bookkeeping, proxies and DTM. It performs no heap
+// allocations in the steady state (traces, when enabled, amortize
+// appends). Step must not be called after Finish.
+func (s *Sim) Step() {
+	s.cycle++
+	cycle := s.cycle
+	res := s.res
+
+	stalled := s.stallLeft > 0
+	if stalled {
+		s.stallLeft--
+		res.StallCycles++
+		s.act.Reset() // clock runs but the pipeline is idle
+	} else {
+		s.core.Step(&s.act)
+	}
+
+	// Power for this cycle.
+	powerVec := s.powerVec
+	s.pmodel.BlockPower(&s.act, powerVec)
+	pf := 1.0
+	if s.hasScaling {
+		pf = s.cfg.Scaling.PowerFactor()
+	} else if s.hasHier {
+		pf = s.cfg.Hierarchy.PowerFactor()
+	}
+	if pf != 1 {
+		for i := range powerVec {
+			powerVec[i] *= pf
+		}
+	}
+	if s.hasLeak {
+		// Static power rides on top of the (possibly scaled) dynamic
+		// power, using last cycle's temperatures.
+		leak := s.cfg.Leakage
+		for i := range powerVec {
+			powerVec[i] += leak.Power(s.leakPeak[i], s.temps[i])
+		}
+	}
+	chip := s.pmodel.ChipPower(&s.act, powerVec)
+	s.chipPower.Add(chip)
+	if chip > res.MaxChipPower {
+		res.MaxChipPower = chip
+	}
+
+	// Thermal step at the effective clock period. Under frequency
+	// scaling one wall-clock cycle covers 1/freqFactor unit thermal
+	// steps; the fractional remainder carries across cycles so total
+	// integrated thermal time tracks wall time (within one cycle)
+	// instead of drifting by the per-cycle rounding error.
+	stepDt := s.dt
+	if s.freqFactor == 1 {
+		s.net.Step(powerVec)
+		res.ThermalSeconds += s.dt
+	} else {
+		stepDt = s.dt / s.freqFactor
+		s.stepCarry += 1 / s.freqFactor
+		steps := int(s.stepCarry)
+		s.stepCarry -= float64(steps)
+		for k := 0; k < steps; k++ {
+			s.net.Step(powerVec)
+		}
+		res.ThermalSeconds += float64(steps) * s.dt
+	}
+	res.WallSeconds += stepDt
+
+	// Thermal bookkeeping.
+	s.net.Temps(s.temps)
+	anyEmerg, anyStress := false, false
+	for i, t := range s.temps {
+		s.blockTemp[i].Add(t)
+		br := &res.Blocks[i]
+		if t > br.MaxTemp {
+			br.MaxTemp = t
+		}
+		if t > s.cfg.Thresholds.Emergency {
+			br.EmergencyCycles++
+			anyEmerg = true
+		}
+		if t > s.cfg.Thresholds.Stress {
+			br.StressCycles++
+			anyStress = true
+		}
+	}
+	if anyEmerg {
+		res.EmergencyCycles++
+	}
+	if anyStress {
+		res.StressCycles++
+	}
+
+	// Proxies.
+	if s.hasProxies {
+		for _, pp := range s.proxies {
 			hotS := pp.ps.Step(powerVec)
 			hotC := pp.pc.Step(chip)
 			pp.comp.PerStruct.Record(anyEmerg, hotS)
 			pp.comp.ChipWide.Record(anyEmerg, hotC)
 		}
-
-		// Heatsink drift (extension).
-		if chipNode != nil {
-			chipNode.Step(chip, stepDt)
-			net.SetSinkTemp(chipNode.T)
-		}
-
-		// DTM. Policies observe the (possibly non-ideal, possibly
-		// partial) sensors.
-		if mgr != nil && !stalled {
-			obs := temps
-			if monitorIdx != nil {
-				sensed = sensed[:0]
-				for _, i := range monitorIdx {
-					sensed = append(sensed, cfg.Sensor.Read(temps[i]))
-				}
-				obs = sensed
-			} else if cfg.Sensor != (sensor.Sensor{}) {
-				sensed = sensed[:len(temps)]
-				for i, t := range temps {
-					sensed[i] = cfg.Sensor.Read(t)
-				}
-				obs = sensed
-			}
-			a, stall := mgr.StepActuation(cycle, obs)
-			if a.FetchDuty != duty {
-				duty = a.FetchDuty
-				core.SetFetchDuty(duty)
-			}
-			core.SetFetchLimit(a.FetchLimit)
-			core.SetMaxUnresolvedBranches(a.MaxUnresolved)
-			stallLeft += stall
-		}
-		if cfg.Scaling != nil && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-			f, stall := cfg.Scaling.Sample(temps)
-			freqFactor = f
-			stallLeft += stall
-		}
-		if cfg.Hierarchy != nil && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-			d, f, stall := cfg.Hierarchy.SampleHierarchy(temps)
-			d = control.Quantize(d, 8)
-			if d != duty {
-				duty = d
-				core.SetFetchDuty(duty)
-			}
-			freqFactor = f
-			stallLeft += stall
-		}
-		dutySum += duty
-
-		// Traces.
-		if res.TempTrace != nil {
-			_, hot := net.Hottest()
-			res.TempTrace.Add(cycle, hot)
-			res.DutyTrace.Add(cycle, duty)
-			for i := range res.BlockTrace {
-				res.BlockTrace[i].Add(cycle, temps[i])
-			}
-		}
 	}
 
-	st := core.Stats()
-	res.Cycles = cycle
+	// Heatsink drift (extension).
+	if s.chipNode != nil {
+		s.chipNode.Step(chip, stepDt)
+		s.net.SetSinkTemp(s.chipNode.T)
+	}
+
+	// DTM. Policies observe the (possibly non-ideal, possibly partial)
+	// sensors.
+	if s.mgr != nil && !stalled {
+		obs := s.temps
+		if s.monitor != nil {
+			s.sensed = s.sensed[:0]
+			for _, i := range s.monitor {
+				s.sensed = append(s.sensed, s.cfg.Sensor.Read(s.temps[i]))
+			}
+			obs = s.sensed
+		} else if s.hasSensor {
+			s.sensed = s.sensed[:len(s.temps)]
+			for i, t := range s.temps {
+				s.sensed[i] = s.cfg.Sensor.Read(t)
+			}
+			obs = s.sensed
+		}
+		a, stall := s.mgr.StepActuation(cycle, obs)
+		if a.FetchDuty != s.duty {
+			s.duty = a.FetchDuty
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.core.SetFetchLimit(a.FetchLimit)
+		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
+		s.stallLeft += stall
+	}
+	if s.hasScaling && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+		f, stall := s.cfg.Scaling.Sample(s.temps)
+		s.freqFactor = f
+		s.stallLeft += stall
+	}
+	if s.hasHier && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+		d, f, stall := s.cfg.Hierarchy.SampleHierarchy(s.temps)
+		d = control.Quantize(d, 8)
+		if d != s.duty {
+			s.duty = d
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.freqFactor = f
+		s.stallLeft += stall
+	}
+	s.dutySum += s.duty
+
+	// Traces.
+	if s.hasTrace {
+		_, hot := s.net.Hottest()
+		res.TempTrace.Add(cycle, hot)
+		res.DutyTrace.Add(cycle, s.duty)
+		for i := range res.BlockTrace {
+			res.BlockTrace[i].Add(cycle, s.temps[i])
+		}
+	}
+}
+
+// Finish seals the run and returns the result. It is idempotent.
+func (s *Sim) Finish() *Result {
+	res := s.res
+	if s.finished {
+		return res
+	}
+	s.finished = true
+	st := s.core.Stats()
+	res.Cycles = s.cycle
 	res.Insts = st.Committed
-	res.IPC = float64(st.Committed) / float64(cycle)
-	res.AvgChipPower = chipPower.Mean()
-	res.AvgDuty = dutySum / float64(cycle)
-	if mgr != nil {
-		res.Engagements = mgr.Engagements()
+	if s.cycle > 0 {
+		res.IPC = float64(st.Committed) / float64(s.cycle)
+		res.AvgDuty = s.dutySum / float64(s.cycle)
+	}
+	res.AvgChipPower = s.chipPower.Mean()
+	if s.mgr != nil {
+		res.Engagements = s.mgr.Engagements()
 	}
 	for i := range res.Blocks {
-		res.Blocks[i].AvgTemp = blockTemp[i].Mean()
+		res.Blocks[i].AvgTemp = s.blockTemp[i].Mean()
 	}
-	if chipNode != nil {
-		res.SinkDrift = chipNode.T - cfg.Thresholds.SinkTemp
+	if s.chipNode != nil {
+		res.SinkDrift = s.chipNode.T - s.cfg.Thresholds.SinkTemp
 	}
-	return res, nil
+	return res
+}
+
+// ctxCheckMask gates how often the run loop polls its context: every 4096
+// cycles, a few microseconds of work, so cancellation latency stays
+// negligible next to the per-check cost.
+const ctxCheckMask = 1<<12 - 1
+
+// Run steps the simulation to completion, polling ctx every few thousand
+// cycles; on cancellation it returns the context error and a nil result.
+func (s *Sim) Run(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
+	for !s.Done() {
+		s.Step()
+		if s.cycle&ctxCheckMask == 0 && done != nil {
+			select {
+			case <-done:
+				return nil, context.Cause(ctx)
+			default:
+			}
+		}
+	}
+	return s.Finish(), nil
 }
 
 // BlockByID returns the BlockResult for a floorplan block, or nil.

@@ -490,3 +490,67 @@ func TestLeakageValidatedAtRunStart(t *testing.T) {
 		t.Error("invalid leakage model accepted")
 	}
 }
+
+func TestInitTempsLengthValidated(t *testing.T) {
+	nblk := len(floorplan.Default())
+	for _, n := range []int{1, nblk - 1, nblk + 1, 4 * nblk} {
+		cfg := Config{Workload: hotProfile(), MaxInsts: 1000, InitTemps: make([]float64, n)}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("InitTemps of length %d accepted for %d blocks", n, nblk)
+		}
+	}
+	// The exact length still works and is honored.
+	init := make([]float64, nblk)
+	for i := range init {
+		init[i] = 105
+	}
+	cfg := Config{Workload: hotProfile(), MaxInsts: 100, MaxCycles: 100, InitTemps: init}
+	res := run(t, cfg)
+	for _, b := range res.Blocks {
+		if b.MaxTemp < 104 {
+			t.Fatalf("block %s never saw its 105 C initial temperature (max %v)", b.Name, b.MaxTemp)
+		}
+	}
+}
+
+// TestThermalTimeTracksWallUnderScaling is the regression test for the
+// frequency-scaling drift bug: rounding the per-cycle thermal step count
+// used to advance thermal time by 1 unit step per cycle at freqFactor
+// 0.75 while wall time advanced 1.333 cycle times, a 25% systematic
+// divergence. With the fractional-step carry, integrated thermal time
+// must match wall time to within one cycle time over a 1M-cycle run.
+func TestThermalTimeTracksWallUnderScaling(t *testing.T) {
+	const cycles = 1_000_000
+	cfg := Config{
+		Workload:  hotProfile(),
+		MaxInsts:  1 << 40, // never reached: MaxCycles is the budget
+		MaxCycles: cycles,
+		// Trigger at 0 C: scaling engages at the first sample and
+		// stays engaged, so freqFactor is 0.75 for ~all cycles.
+		Scaling: dtm.NewFreqScaling(0, 0.75, 1<<30),
+	}
+	res := run(t, cfg)
+	if res.Cycles != cycles {
+		t.Fatalf("ran %d cycles, want %d", res.Cycles, cycles)
+	}
+	dt := 1.0 / 1.5e9
+	// Sanity: scaling really was engaged (wall time well beyond the
+	// unscaled cycles*dt).
+	if res.WallSeconds < float64(cycles)*dt*1.2 {
+		t.Fatalf("scaling never engaged: wall %v vs unscaled %v", res.WallSeconds, float64(cycles)*dt)
+	}
+	drift := math.Abs(res.WallSeconds - res.ThermalSeconds)
+	// The carry bounds the drift by one cycle time; the 0.1% headroom
+	// covers float summation noise across the two 1M-term time sums.
+	if drift > dt*1.001 {
+		t.Errorf("thermal time drifted %.3g s from wall time (%.3g cycle times); want <= 1 cycle",
+			drift, drift/dt)
+	}
+}
+
+func TestThermalTimeEqualsWallUnscaled(t *testing.T) {
+	res := run(t, Config{Workload: hotProfile(), MaxInsts: 50_000})
+	if res.ThermalSeconds != res.WallSeconds {
+		t.Errorf("unscaled run: thermal %v != wall %v", res.ThermalSeconds, res.WallSeconds)
+	}
+}

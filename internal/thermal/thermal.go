@@ -56,8 +56,9 @@ type Network struct {
 	temps  []float64
 	rInv   []float64 // 1/R per block
 	cInv   []float64 // 1/C per block
-	adj    [][]int   // neighbor indices (tangential only)
-	gTan   [][]float64
+	adj     [][]int // neighbor indices (tangential only)
+	gTan    [][]float64
+	scratch []float64 // pre-step temperatures (tangential only)
 	idx    map[floorplan.BlockID]int
 	blocks []floorplan.Block
 }
@@ -91,6 +92,7 @@ func New(cfg Config) *Network {
 	if cfg.Tangential {
 		n.adj = make([][]int, len(n.blocks))
 		n.gTan = make([][]float64, len(n.blocks))
+		n.scratch = make([]float64, len(n.blocks))
 		for i, b := range n.blocks {
 			for _, nb := range b.Neighbors {
 				j, ok := n.idx[nb]
@@ -169,7 +171,8 @@ func (n *Network) Step(power []float64) {
 	}
 	// Tangential variant: evaluate lateral flows against the pre-step
 	// temperatures so the update stays symmetric.
-	prev := append([]float64(nil), n.temps...)
+	prev := n.scratch
+	copy(prev, n.temps)
 	for i, t := range prev {
 		flow := power[i] - (t-sink)*n.rInv[i]
 		for k, j := range n.adj[i] {
