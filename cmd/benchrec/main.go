@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // CycleStats is one hot-loop variant's steady-state per-cycle cost.
@@ -71,6 +73,14 @@ func hotVariants() map[string]sim.Config {
 		"dtm_pi":  {Manager: pi()},
 		"proxies": {ProxyWindows: []int{10_000, 100_000}},
 		"kitchen": {Leakage: power.DefaultLeakage(), Manager: pi(), ProxyWindows: []int{10_000}, Tangential: true},
+		// Full telemetry attached: metrics bundle plus a JSONL trace
+		// recorder at the DTM sampling stride. Guards the acceptance bound
+		// that instrumentation stays within a few percent of dtm_pi.
+		"instrumented": {
+			Manager: pi(),
+			Metrics: telemetry.NewSimMetrics(telemetry.NewRegistry()),
+			Trace:   telemetry.NewRecorder(io.Discard, 13, 256),
+		},
 	}
 }
 

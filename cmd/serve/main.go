@@ -1,0 +1,251 @@
+// Command serve runs experiment batches behind an HTTP interface with live
+// telemetry: the shared metrics registry is exposed in Prometheus text
+// format at /metrics while batches execute, so counters (cycles simulated,
+// DTM samples, saturation events, runner queue depth) can be scraped or
+// watched mid-run. Go runtime introspection rides along on the standard
+// /debug/vars (expvar) and /debug/pprof endpoints.
+//
+//	serve -addr :8721
+//	curl localhost:8721/run?bench=gcc&policy=PI      # one sim, JSON result
+//	curl localhost:8721/batch?kind=baseline          # async suite batch
+//	curl localhost:8721/batches                      # batch status
+//	curl localhost:8721/metrics                      # Prometheus text
+//
+// SIGINT shuts the server down gracefully and cancels in-flight batches.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// batchState tracks one asynchronous batch for /batches.
+type batchState struct {
+	ID      int       `json:"id"`
+	Kind    string    `json:"kind"`
+	Started time.Time `json:"started"`
+	Done    int       `json:"done"`
+	Total   int       `json:"total"`
+	Failed  int       `json:"failed"`
+	Running bool      `json:"running"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// server owns the shared registry and the batch table.
+type server struct {
+	reg     *telemetry.Registry
+	ctx     context.Context // root context; cancelled on shutdown
+	insts   uint64
+	workers int
+
+	mu      sync.Mutex
+	batches map[int]*batchState
+	nextID  int
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8721", "HTTP listen address")
+		insts   = flag.Uint64("insts", 1_000_000, "committed instructions per run")
+		workers = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s := &server{
+		reg:     telemetry.NewRegistry(),
+		ctx:     ctx,
+		insts:   *insts,
+		workers: *workers,
+		batches: map[int]*batchState{},
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/batches", s.handleBatches)
+	// expvar and pprof register themselves on the default mux; forward the
+	// whole /debug/ subtree there.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	expvar.Publish("repro.batches", expvar.Func(func() any { return s.snapshot() }))
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (endpoints: /metrics /run /batch /batches /healthz /debug/vars /debug/pprof)\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		fmt.Fprintln(os.Stderr, "shut down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleRun executes one instrumented simulation synchronously and returns
+// a JSON summary. The request context cancels the run if the client goes
+// away.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	benchName := q.Get("bench")
+	if benchName == "" {
+		benchName = "gcc"
+	}
+	policy := q.Get("policy")
+	if policy == "" {
+		policy = "PI"
+	}
+	insts := s.insts
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad insts: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		insts = n
+	}
+	prof, err := bench.ByName(benchName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := sim.Config{
+		Workload: prof,
+		MaxInsts: insts,
+		Metrics:  telemetry.NewSimMetrics(s.reg),
+	}
+	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := sim.RunContext(r.Context(), cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"benchmark":  res.Benchmark,
+		"policy":     res.Policy,
+		"ipc":        res.IPC,
+		"cycles":     res.Cycles,
+		"insts":      res.Insts,
+		"avg_power":  res.AvgChipPower,
+		"avg_duty":   res.AvgDuty,
+		"emerg_frac": res.EmergencyFrac(),
+	})
+}
+
+// handleBatch starts an asynchronous experiment batch and returns its ID
+// immediately; progress is visible via /batches and /metrics.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "baseline"
+	}
+	p := experiments.DefaultParams()
+	p.Insts = s.insts
+	p.Workers = s.workers
+	p.Context = s.ctx
+	p.Registry = s.reg
+	if pols := r.URL.Query().Get("policies"); pols != "" {
+		p.Policies = strings.Split(pols, ",")
+	}
+
+	var run func(experiments.Params) error
+	switch kind {
+	case "baseline":
+		run = func(p experiments.Params) error { _, err := experiments.Baseline(p); return err }
+	case "policies":
+		run = func(p experiments.Params) error { _, err := experiments.RunPolicyEval(p); return err }
+	case "proxies":
+		run = func(p experiments.Params) error { _, _, err := experiments.ProxyTables(p, nil); return err }
+	default:
+		http.Error(w, fmt.Sprintf("unknown batch kind %q (baseline | policies | proxies)", kind), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	st := &batchState{ID: s.nextID, Kind: kind, Started: time.Now(), Running: true}
+	s.batches[st.ID] = st
+	s.mu.Unlock()
+
+	p.Progress = func(pr runner.Progress) {
+		s.mu.Lock()
+		st.Done, st.Total, st.Failed = pr.Done, pr.Total, pr.Failed
+		s.mu.Unlock()
+	}
+	go func() {
+		err := run(p)
+		s.mu.Lock()
+		st.Running = false
+		if err != nil {
+			st.Error = err.Error()
+		}
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	snap := *st // the batch goroutine mutates st concurrently
+	s.mu.Unlock()
+	writeJSON(w, snap)
+}
+
+func (s *server) handleBatches(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.snapshot())
+}
+
+// snapshot returns the batch table ordered by ID.
+func (s *server) snapshot() []batchState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]batchState, 0, len(s.batches))
+	for id := 1; id <= s.nextID; id++ {
+		if st, ok := s.batches[id]; ok {
+			out = append(out, *st)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

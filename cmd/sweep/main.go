@@ -22,8 +22,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dtm"
+	"repro/internal/floorplan"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,11 +35,18 @@ func main() {
 		policy    = flag.String("policy", "PI", "controller for setpoint/interval sweeps")
 		insts     = flag.Uint64("insts", 1_000_000, "committed instructions per point")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		trace     = flag.String("trace", "", "write JSONL telemetry samples to this file")
+		metrics   = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	sinks, err := telemetry.OpenSinks(*trace, *metrics, len(floorplan.Blocks()))
+	if err != nil {
+		fatal(err)
+	}
 
 	prof, err := bench.ByName(*benchName)
 	if err != nil {
@@ -96,19 +105,38 @@ func main() {
 		fatal(fmt.Errorf("unknown parameter %q", *param))
 	}
 
+	// instrument labels one point's run in the shared telemetry sinks.
+	instrument := func(cfg *sim.Config, label string) {
+		if sinks.Registry != nil {
+			cfg.Metrics = telemetry.NewSimMetrics(sinks.Registry)
+		}
+		if sinks.Recorder != nil {
+			cfg.Trace = sinks.Recorder
+			cfg.TraceID = fmt.Sprintf("%s/%s=%s", *benchName, *param, label)
+		}
+	}
+
 	// Baseline rides along as job 0 so the whole sweep is one batch.
 	jobs := make([]runner.Job[*sim.Result], 0, len(points)+1)
 	jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
-		return sim.RunContext(ctx, sim.Config{Workload: prof, MaxInsts: *insts})
+		cfg := sim.Config{Workload: prof, MaxInsts: *insts}
+		instrument(&cfg, "base")
+		return sim.RunContext(ctx, cfg)
 	})
 	for _, pt := range points {
-		cfg := pt.cfg
+		cfg, label := pt.cfg, pt.label
+		instrument(&cfg, label)
 		jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
 			return sim.RunContext(ctx, cfg)
 		})
 	}
-	outs, err := runner.Run(ctx, runner.Options{Workers: *workers}, jobs)
+	opts := runner.Options{Workers: *workers}
+	if sinks.Registry != nil {
+		opts.Metrics = telemetry.NewRunnerMetrics(sinks.Registry)
+	}
+	outs, err := runner.Run(ctx, opts, jobs)
 	if err != nil {
+		sinks.Close()
 		fatal(err)
 	}
 	base := outs[0].Value
@@ -125,6 +153,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergencyFrac())
 	fmt.Fprintf(os.Stderr, "sweep: %d runs, %d cycles, %.0f cycles/s/worker\n",
 		len(outs), total.Cycles, total.CyclesPerSec)
+	if err := sinks.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

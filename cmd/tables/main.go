@@ -7,6 +7,8 @@
 //	tables -table 4        # benchmark characterization only
 //	tables -insts 500000   # quicker, lower-fidelity runs
 //	tables -workers 4      # bound batch parallelism
+//	tables -metrics m.prom # dump final Prometheus-text metrics
+//	tables -trace t.jsonl  # stream per-run telemetry samples
 package main
 
 import (
@@ -19,8 +21,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/floorplan"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,16 +33,26 @@ func main() {
 		insts    = flag.Uint64("insts", 2_000_000, "committed instructions per run")
 		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", true, "report per-run batch progress on stderr")
+		trace    = flag.String("trace", "", "write JSONL telemetry samples to this file (\"-\" = stdout)")
+		metrics  = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	sinks, err := telemetry.OpenSinks(*trace, *metrics, len(floorplan.Blocks()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	p := experiments.DefaultParams()
 	p.Insts = *insts
 	p.Context = ctx
 	p.Workers = *workers
+	p.Registry = sinks.Registry
+	p.Trace = sinks.Recorder
 	if *progress {
 		p.Progress = func(pr runner.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%d failed, %v)  ",
@@ -52,6 +66,7 @@ func main() {
 	want := func(n int) bool { return *table == 0 || *table == n }
 	die := func(err error) {
 		if err != nil {
+			sinks.Close() // keep partial telemetry from aborted batches
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "\ninterrupted")
 				os.Exit(130)
@@ -134,4 +149,5 @@ func main() {
 		banner(13, "PI/PID setpoint sensitivity")
 		fmt.Print(t)
 	}
+	die(sinks.Close())
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 )
 
@@ -31,22 +32,37 @@ func main() {
 		stride    = flag.Uint64("stride", 5000, "cycles between samples")
 		svgPath   = flag.String("svg", "", "write a temperature/duty SVG chart to this file")
 		heatPath  = flag.String("heatmap", "", "write a floorplan peak-temperature SVG to this file")
+		trace     = flag.String("trace", "", "write JSONL telemetry samples (controller terms included) to this file")
+		metrics   = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	sinks, err := telemetry.OpenSinks(*trace, *metrics, len(floorplan.Blocks()))
+	if err != nil {
+		fatal(err)
+	}
+
 	p := experiments.DefaultParams()
 	p.Insts = *insts
 	p.Context = ctx
+	p.Registry = sinks.Registry
+	p.Trace = sinks.Recorder
+	p.TraceInterval = *stride
 	// Run through the engine for Ctrl-C abort and throughput metrics.
-	outs, err := runner.Run(ctx, runner.Options{}, []runner.Job[*sim.Result]{
+	opts := runner.Options{}
+	if sinks.Registry != nil {
+		opts.Metrics = telemetry.NewRunnerMetrics(sinks.Registry)
+	}
+	outs, err := runner.Run(ctx, opts, []runner.Job[*sim.Result]{
 		func(context.Context) (*sim.Result, error) {
 			return experiments.Trace(p, *benchName, *policy, *stride)
 		},
 	})
 	if err != nil {
+		sinks.Close()
 		fatal(err)
 	}
 	res, m := outs[0].Value, outs[0].Metrics
@@ -115,6 +131,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s under %s: IPC=%.3f emerg=%.2f%% avg duty=%.2f (%d cycles in %v, %.2g cycles/s)\n",
 		res.Benchmark, res.Policy, res.IPC, 100*res.EmergencyFrac(), res.AvgDuty,
 		m.Cycles, m.Wall.Round(time.Millisecond), m.CyclesPerSec)
+	if err := sinks.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -98,6 +98,46 @@ func TestAnalyzeReport(t *testing.T) {
 // vanishes, and only actuator saturation/quantization bound the
 // oscillation. This is why the paper (and this reproduction) design
 // against the *longest* block time constant and verify in simulation.
+// TestPhaseMarginCrossoverInFinalPartialStep pins the bracket-scan
+// boundary fix: the geometric scan used to stop once the next step passed
+// the upper frequency bound without ever evaluating the bound itself, so a
+// gain crossover landing in the final partial step (between the last full
+// 1.1x grid point and hi) was reported as "no gain crossover found". The
+// test reconstructs the scan grid and places the crossover exactly there.
+func TestPhaseMarginCrossoverInFinalPartialStep(t *testing.T) {
+	p := Plant{K: 1, Tau: 180e-6} // no delay: hi = 1e6/Tau
+	lo, hi := 1e-3/p.Tau, 1e6/p.Tau
+	last := lo
+	for last*1.1 < hi {
+		last *= 1.1
+	}
+	// Target crossover at the geometric middle of the final partial step.
+	wcTarget := math.Sqrt(last * hi)
+	if wcTarget <= last || wcTarget >= hi {
+		t.Fatalf("bad grid reconstruction: last=%g target=%g hi=%g", last, wcTarget, hi)
+	}
+	// P-only loop: |L(jw)| = Kp*K/sqrt(1+(w*Tau)^2) = 1 at wcTarget.
+	g := Gains{Kp: math.Sqrt(1+wcTarget*wcTarget*p.Tau*p.Tau) / p.K}
+	pm, wc, err := OpenLoopPhaseMargin(p, g)
+	if err != nil {
+		t.Fatalf("crossover in final partial step not found: %v", err)
+	}
+	if math.Abs(wc-wcTarget) > 0.01*wcTarget {
+		t.Errorf("wc = %g, want ~%g", wc, wcTarget)
+	}
+	// P control of a first-order lag without delay: pm = pi - atan(wc*Tau)
+	// stays just above 90 degrees.
+	if pm <= math.Pi/2 || pm >= math.Pi {
+		t.Errorf("pm = %g rad out of range (%g deg)", pm, pm*180/math.Pi)
+	}
+
+	// A loop that never crosses unity inside [lo, hi] must still error.
+	tooHot := Gains{Kp: 10 * math.Sqrt(1+hi*hi*p.Tau*p.Tau) / p.K}
+	if _, _, err := OpenLoopPhaseMargin(p, tooHot); err == nil {
+		t.Error("loop gain above unity everywhere did not error")
+	}
+}
+
 func TestMarginsSurvivePlantMismatch(t *testing.T) {
 	nominal := paperPlant()
 	g := MustTune(nominal, Spec{Kind: KindPI})

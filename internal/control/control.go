@@ -224,18 +224,25 @@ func OpenLoopPhaseMargin(p Plant, g Gains) (pm, wc float64, err error) {
 	if loopMag(lo) < 1 {
 		return 0, 0, errors.New("control: loop gain below unity at low frequency")
 	}
-	w := lo
+	// Scan geometrically for a bracket [a, b] with |L(a)| >= 1 > |L(b)|.
+	// The final step is clamped to hi (and hi itself evaluated) so a
+	// crossover landing inside the last partial step is still found.
+	a, b := lo, lo
 	found := false
-	for ; w < hi; w *= 1.1 {
-		if loopMag(w) < 1 {
+	for a < hi {
+		b = a * 1.1
+		if b > hi {
+			b = hi
+		}
+		if loopMag(b) < 1 {
 			found = true
 			break
 		}
+		a = b
 	}
 	if !found {
 		return 0, 0, errors.New("control: no gain crossover found")
 	}
-	a, b := w/1.1, w
 	for i := 0; i < 80; i++ {
 		mid := math.Sqrt(a * b)
 		if loopMag(mid) > 1 {
@@ -269,11 +276,15 @@ type PID struct {
 	// DisableAntiWindup turns the windup protection off (ablation).
 	DisableAntiWindup bool
 
-	integ   float64
-	prevErr float64
-	primed  bool
-	lastU   float64
-	lastSat bool
+	integ      float64
+	prevErr    float64
+	primed     bool
+	lastU      float64
+	lastSat    bool
+	lastFrozen bool
+	lastP      float64
+	lastI      float64
+	lastD      float64
 }
 
 // NewPID returns a runtime controller with the given tuning, setpoint and
@@ -295,10 +306,21 @@ func NewPID(g Gains, setpoint, sensorRange, ts float64) *PID {
 // Reset clears the controller state.
 func (c *PID) Reset() {
 	c.integ, c.prevErr, c.primed, c.lastU, c.lastSat = 0, 0, false, 0, false
+	c.lastFrozen, c.lastP, c.lastI, c.lastD = false, 0, 0, 0
 }
 
 // Saturated reports whether the last Update hit an actuator bound.
 func (c *PID) Saturated() bool { return c.lastSat }
+
+// Frozen reports whether the last Update froze the integrator under the
+// anti-windup policy.
+func (c *PID) Frozen() bool { return c.lastFrozen }
+
+// Terms returns the proportional, integral and derivative contributions of
+// the last Update (the integral term reflects the post-anti-windup
+// accumulator) — the per-sample controller trace the telemetry layer
+// records.
+func (c *PID) Terms() (p, i, d float64) { return c.lastP, c.lastI, c.lastD }
 
 // Output returns the last computed actuator command.
 func (c *PID) Output() float64 { return c.lastU }
@@ -342,6 +364,7 @@ func (c *PID) Update(measured float64) float64 {
 	} else if u < c.OutMin {
 		u, sat = c.OutMin, true
 	}
+	frozen := false
 	if sat && !c.DisableAntiWindup {
 		// Freeze the integrator while saturated unless integrating
 		// would drive the output back inside the actuator range.
@@ -349,11 +372,13 @@ func (c *PID) Update(measured float64) float64 {
 		drivingOut := (u >= c.OutMax && newInteg > c.integ) ||
 			(u <= c.OutMin && newInteg < c.integ)
 		if drivingOut || unsatU > c.OutMax || unsatU < c.OutMin {
+			frozen = newInteg != c.integ
 			newInteg = c.integ
 		}
 	}
 	c.integ = newInteg
-	c.lastU, c.lastSat = u, sat
+	c.lastU, c.lastSat, c.lastFrozen = u, sat, frozen
+	c.lastP, c.lastI, c.lastD = c.Kp*e, c.Ki*newInteg, c.Kd*deriv
 	return u
 }
 

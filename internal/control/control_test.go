@@ -252,6 +252,77 @@ func TestPIDAntiWindupBoundsIntegral(t *testing.T) {
 	}
 }
 
+// TestPIDAntiWindupAblation exercises the Section 3.3 windup protection as
+// an explicit on/off ablation with the controller's introspection hooks:
+// under sustained upper-bound saturation the integrator must freeze (and
+// report it via Frozen), must never go negative in either mode, and on
+// release the protected controller must leave the bound within a couple of
+// samples while the wound-up one stays pinned for thousands.
+func TestPIDAntiWindupAblation(t *testing.T) {
+	mk := func(disable bool) *PID {
+		c := NewPID(Gains{Kp: 0.5, Ki: 50}, 100, 0, 1e-3)
+		c.DisableAntiWindup = disable
+		return c
+	}
+	const satSteps = 2000
+
+	aw, raw := mk(false), mk(true)
+	for i := 0; i < satSteps; i++ {
+		// Far below setpoint: e = +10, both saturate at the upper bound.
+		ua, ur := aw.Update(90), raw.Update(90)
+		if ua != 1 || ur != 1 {
+			t.Fatalf("step %d: not saturated high (ua=%v ur=%v)", i, ua, ur)
+		}
+		if !aw.Saturated() || !aw.Frozen() {
+			t.Fatalf("step %d: protected controller not saturated+frozen", i)
+		}
+		if raw.Frozen() {
+			t.Fatalf("step %d: ablated controller reported a freeze", i)
+		}
+		if aw.Integral() < 0 || raw.Integral() < 0 {
+			t.Fatalf("step %d: negative integral", i)
+		}
+	}
+	if got := aw.Integral(); got != 0 {
+		t.Errorf("frozen integrator drifted to %v", got)
+	}
+	// Ablated: integral grows e*Ts per step = 0.01 * satSteps.
+	if got, want := raw.Integral(), 10*1e-3*satSteps; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("wound-up integral = %v, want ~%v", got, want)
+	}
+	if _, i, _ := raw.Terms(); i < 999 {
+		t.Errorf("wound-up I term = %v, want ~1000", i)
+	}
+
+	// Release: slightly above setpoint. The protected controller must come
+	// off the upper bound essentially immediately; the wound-up integral
+	// (~20, discharging 5e-4 per step) pins the ablated one for thousands
+	// of samples — the overshoot blow-up the paper's rule prevents.
+	recovery := func(c *PID, limit int) int {
+		for i := 1; i <= limit; i++ {
+			if c.Update(100.5) < 1 {
+				return i
+			}
+		}
+		return limit + 1
+	}
+	const limit = 10_000
+	if steps := recovery(aw, limit); steps > 2 {
+		t.Errorf("protected controller took %d steps to leave saturation, want <= 2", steps)
+	}
+	if steps := recovery(raw, limit); steps <= 1000 {
+		t.Errorf("ablated controller recovered in %d steps; windup should pin it far longer", steps)
+	}
+	// Even while discharging a huge windup under negative error, the
+	// integral must never cross zero.
+	for i := 0; i < 1000; i++ {
+		raw.Update(150) // e clamps the integral discharge hard
+		if raw.Integral() < 0 {
+			t.Fatal("integral went negative during discharge")
+		}
+	}
+}
+
 func TestPIDResetClearsState(t *testing.T) {
 	g := Gains{Kp: 1, Ki: 100, Kd: 1e-6}
 	c := NewPID(g, 111.1, 0, paperTs)

@@ -22,16 +22,14 @@ type Hierarchy struct {
 	escalations uint64
 }
 
-// NewHierarchy composes a primary policy with a scaling backup.
+// NewHierarchy composes a primary policy with a scaling backup. The backup
+// is used as handed in: the hierarchy applies its escalation threshold at
+// sample time (the effective trigger is the larger of the backup's own and
+// BackupTrigger), so the same *Scaling can be shared with a standalone
+// deployment without being silently reconfigured.
 func NewHierarchy(primary Policy, backup *Scaling, backupTrigger float64) *Hierarchy {
 	if primary == nil || backup == nil {
 		panic("dtm: hierarchy needs both a primary policy and a backup")
-	}
-	if backup.Trigger < backupTrigger {
-		// The backup's own trigger must not undercut the escalation
-		// threshold, or it would engage before the primary has a
-		// chance (defeating the hierarchy).
-		backup.Trigger = backupTrigger
 	}
 	return &Hierarchy{Primary: primary, Backup: backup, BackupTrigger: backupTrigger}
 }
@@ -58,11 +56,18 @@ func (h *Hierarchy) Sample(temps []float64) float64 {
 }
 
 // SampleHierarchy returns the fetch duty from the primary, the frequency
-// factor from the backup (1 when not escalated) and any resync stall.
+// factor from the backup (1 when not escalated) and any resync stall. The
+// backup engages at the effective trigger: the escalation threshold, or
+// the backup's own trigger if that is higher, so the backup never engages
+// before the primary has a chance (which would defeat the hierarchy).
 func (h *Hierarchy) SampleHierarchy(temps []float64) (duty, freqFactor float64, stall uint64) {
 	duty = h.Primary.Sample(temps)
+	trigger := h.BackupTrigger
+	if h.Backup.Trigger > trigger {
+		trigger = h.Backup.Trigger
+	}
 	wasEngaged := h.Backup.Engaged()
-	freqFactor, stall = h.Backup.Sample(temps)
+	freqFactor, stall = h.Backup.SampleAt(temps, trigger)
 	if h.Backup.Engaged() && !wasEngaged {
 		h.escalations++
 	}

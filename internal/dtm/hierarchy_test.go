@@ -19,8 +19,8 @@ func TestHierarchyNameAndReset(t *testing.T) {
 
 func TestHierarchyEscalatesOnlyPastBackupTrigger(t *testing.T) {
 	h := NewHierarchy(NewToggle2(110.3, 2), NewFreqScaling(110.3, 0.5, 2), 111.2)
-	// The constructor must lift the backup trigger to the escalation
-	// threshold so the backup does not fire with the primary.
+	// The effective backup trigger is the escalation threshold when the
+	// backup's own is lower, so the backup does not fire with the primary.
 	d, f, stall := h.SampleHierarchy(temps(110.8))
 	if d != 0.5 {
 		t.Errorf("primary duty = %v, want engaged 0.5", d)
@@ -36,6 +36,52 @@ func TestHierarchyEscalatesOnlyPastBackupTrigger(t *testing.T) {
 		t.Errorf("power factor = %v", h.PowerFactor())
 	}
 	_ = d
+}
+
+// TestHierarchyDoesNotMutateBackup pins the constructor-side-effect fix:
+// NewHierarchy used to overwrite the caller's Scaling.Trigger with the
+// escalation threshold, silently reconfiguring a Scaling the caller might
+// also deploy standalone. The escalation threshold now lives in the
+// hierarchy and is applied at sample time.
+func TestHierarchyDoesNotMutateBackup(t *testing.T) {
+	backup := NewFreqScaling(110.3, 0.5, 2)
+	h := NewHierarchy(NewToggle2(110.3, 2), backup, 111.2)
+	if backup.Trigger != 110.3 {
+		t.Fatalf("NewHierarchy mutated backup.Trigger to %v", backup.Trigger)
+	}
+
+	// Standalone use of the same Scaling still engages at its own trigger.
+	if f, _ := backup.Sample(temps(110.8)); f != 0.5 {
+		t.Errorf("standalone backup did not engage at its own trigger: f=%v", f)
+	}
+	backup.Reset()
+
+	// Inside the hierarchy the effective trigger is the escalation
+	// threshold; 110.8 is above the backup's own trigger but must not
+	// escalate.
+	if _, f, _ := h.SampleHierarchy(temps(110.8)); f != 1 {
+		t.Errorf("hierarchy escalated below BackupTrigger: f=%v", f)
+	}
+	if _, f, _ := h.SampleHierarchy(temps(111.3)); f != 0.5 {
+		t.Errorf("hierarchy did not escalate above BackupTrigger: f=%v", f)
+	}
+	if backup.Trigger != 110.3 {
+		t.Fatalf("sampling mutated backup.Trigger to %v", backup.Trigger)
+	}
+
+	// A backup whose own trigger is higher than the escalation threshold
+	// keeps it: the effective trigger is the max of the two.
+	strict := NewFreqScaling(111.5, 0.5, 2)
+	h2 := NewHierarchy(NewToggle2(110.3, 2), strict, 111.2)
+	if _, f, _ := h2.SampleHierarchy(temps(111.3)); f != 1 {
+		t.Errorf("escalated below the backup's own higher trigger: f=%v", f)
+	}
+
+	// Reset restores the hierarchy without disturbing the backup config.
+	h.Reset()
+	if backup.Trigger != 110.3 || backup.Engaged() || h.Escalations() != 0 {
+		t.Error("Reset disturbed backup configuration or left state behind")
+	}
 }
 
 func TestHierarchySampleReturnsPrimaryDuty(t *testing.T) {

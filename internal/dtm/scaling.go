@@ -78,7 +78,14 @@ func (s *Scaling) Switches() uint64 { return s.switches }
 // the current frequency factor (1 when disengaged) plus any resync stall
 // incurred by a transition this sample.
 func (s *Scaling) Sample(temps []float64) (freqFactor float64, stall uint64) {
-	hot := hottest(temps) > s.Trigger
+	return s.SampleAt(temps, s.Trigger)
+}
+
+// SampleAt is Sample with an explicit engagement threshold, letting a
+// composing mechanism (the hierarchy) raise the effective trigger for one
+// deployment without mutating the Scaling it was handed.
+func (s *Scaling) SampleAt(temps []float64, trigger float64) (freqFactor float64, stall uint64) {
+	hot := hottest(temps) > trigger
 	was := s.engaged
 	if hot {
 		s.engaged = true

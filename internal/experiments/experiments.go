@@ -17,6 +17,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Params controls experiment scale. The paper simulates 200M committed
@@ -35,6 +36,15 @@ type Params struct {
 	Workers int
 	// Progress, when non-nil, observes every batch's per-run completion.
 	Progress func(runner.Progress)
+	// Registry, when non-nil, collects sim and runner telemetry from every
+	// batch run (shared metrics; per-run counter stripes).
+	Registry *telemetry.Registry
+	// Trace, when non-nil, receives structured controller/thermal samples
+	// from every run, labeled "benchmark/policy".
+	Trace *telemetry.Recorder
+	// TraceInterval is the cycle stride for Trace samples (0 = DTM
+	// sampling interval).
+	TraceInterval uint64
 }
 
 // ctx returns the effective batch context.
@@ -66,6 +76,9 @@ type runSpec struct {
 // Results come back in spec order.
 func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
 	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
+	if p.Registry != nil {
+		opts.Metrics = telemetry.NewRunnerMetrics(p.Registry)
+	}
 	return runner.Map(p.ctx(), opts, specs,
 		func(ctx context.Context, sp runSpec) (*sim.Result, error) {
 			prof, err := bench.ByName(sp.bench)
@@ -79,8 +92,23 @@ func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
 			if sp.cfg != nil {
 				sp.cfg(&cfg)
 			}
+			p.instrument(&cfg, sp.bench+"/"+sp.policy)
 			return sim.RunContext(ctx, cfg)
 		})
+}
+
+// instrument attaches the params' telemetry sinks to one run's config. A
+// fresh SimMetrics bundle per run keeps counter stripes uncontended across
+// the worker pool while still aggregating into the shared registry.
+func (p Params) instrument(cfg *sim.Config, runID string) {
+	if p.Registry != nil {
+		cfg.Metrics = telemetry.NewSimMetrics(p.Registry)
+	}
+	if p.Trace != nil {
+		cfg.Trace = p.Trace
+		cfg.TraceInterval = p.TraceInterval
+		cfg.TraceID = runID
+	}
 }
 
 // Baseline runs the whole suite uncontrolled and returns results in
@@ -424,6 +452,7 @@ func Trace(p Params, benchName, policy string, stride uint64) (*sim.Result, erro
 	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
 		return nil, err
 	}
+	p.instrument(&cfg, benchName+"/"+policy)
 	return sim.RunContext(p.ctx(), cfg)
 }
 
@@ -450,7 +479,11 @@ func SeedStudy(p Params, benchName, policy string, n int) (SeedStats, error) {
 	for i := range seeds {
 		seeds[i] = base.Seed + uint64(i)*0x9e3779b97f4a7c15
 	}
-	results, err := runner.Map(p.ctx(), runner.Options{Workers: p.Workers, Progress: p.Progress}, seeds,
+	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
+	if p.Registry != nil {
+		opts.Metrics = telemetry.NewRunnerMetrics(p.Registry)
+	}
+	results, err := runner.Map(p.ctx(), opts, seeds,
 		func(ctx context.Context, seed uint64) (*sim.Result, error) {
 			prof := base
 			prof.Seed = seed
@@ -458,6 +491,7 @@ func SeedStudy(p Params, benchName, policy string, n int) (SeedStats, error) {
 			if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
 				return nil, err
 			}
+			p.instrument(&cfg, benchName+"/"+policy)
 			return sim.RunContext(ctx, cfg)
 		})
 	if err != nil {

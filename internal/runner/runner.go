@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Job is one unit of work. The context is the batch context: jobs that
@@ -94,6 +96,10 @@ type Options struct {
 	// Progress, when non-nil, is invoked after every job completion.
 	// It is called from worker goroutines but never concurrently.
 	Progress func(Progress)
+	// Metrics, when non-nil, streams batch lifecycle telemetry: started/
+	// completed/failed job counters, per-job wall time, and the live
+	// unclaimed-queue depth.
+	Metrics *telemetry.RunnerMetrics
 }
 
 // Run executes jobs with bounded parallelism and returns their outcomes
@@ -157,15 +163,29 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Outcome[R],
 			if r := recover(); r != nil {
 				err := &PanicError{Job: i, Value: r, Stack: debug.Stack()}
 				outs[i].Err = err
+				if opts.Metrics != nil {
+					opts.Metrics.RunsCompleted.Inc()
+					opts.Metrics.RunsFailed.Inc()
+				}
 				abort(err)
 				finish(true)
 			}
 		}()
+		if opts.Metrics != nil {
+			opts.Metrics.RunsStarted.Inc()
+		}
 		jobStart := time.Now()
 		v, err := jobs[i](bctx)
 		outs[i].Value = v
 		outs[i].Err = err
 		outs[i].Metrics.Wall = time.Since(jobStart)
+		if opts.Metrics != nil {
+			opts.Metrics.RunsCompleted.Inc()
+			if err != nil {
+				opts.Metrics.RunsFailed.Inc()
+			}
+			opts.Metrics.RunSeconds.Observe(outs[i].Metrics.Wall.Seconds())
+		}
 		if cc, ok := any(v).(CycleCounter); ok && err == nil {
 			outs[i].Metrics.Cycles = cc.CycleCount()
 			if s := outs[i].Metrics.Wall.Seconds(); s > 0 {
@@ -187,10 +207,18 @@ func Run[R any](ctx context.Context, opts Options, jobs []Job[R]) ([]Outcome[R],
 				if i >= len(jobs) {
 					return
 				}
+				if opts.Metrics != nil {
+					if left := len(jobs) - i - 1; left >= 0 {
+						opts.Metrics.QueueDepth.Set(float64(left))
+					}
+				}
 				if err := bctx.Err(); err != nil {
 					// Batch aborted: mark the job skipped without
 					// running it.
 					outs[i].Err = context.Cause(bctx)
+					if opts.Metrics != nil {
+						opts.Metrics.RunsFailed.Inc()
+					}
 					finish(true)
 					continue
 				}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/control"
 	"repro/internal/dtm"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 )
 
 // paperPlant mirrors bench.Plant (which sim cannot import without a
@@ -57,6 +59,23 @@ var benchVariants = []struct {
 			Tangential:   true,
 		}
 	}},
+	{"Instrumented", func() Config {
+		return Config{
+			Manager: piManager(),
+			Metrics: telemetry.NewSimMetrics(telemetry.NewRegistry()),
+			Trace:   telemetry.NewRecorder(io.Discard, 13, 256),
+		}
+	}},
+	{"InstrumentedKitchen", func() Config {
+		return Config{
+			Leakage:      power.DefaultLeakage(),
+			Manager:      piManager(),
+			ProxyWindows: []int{10_000},
+			Tangential:   true,
+			Metrics:      telemetry.NewSimMetrics(telemetry.NewRegistry()),
+			Trace:        telemetry.NewRecorder(io.Discard, 13, 256),
+		}
+	}},
 }
 
 // BenchmarkRunCycle measures the steady-state per-cycle cost of the sim
@@ -91,10 +110,11 @@ func BenchmarkRunEndToEnd(b *testing.B) {
 	}
 }
 
-// TestStepSteadyStateZeroAlloc enforces the zero-allocation contract of
-// the hot loop for every feature combination (traces excluded: they
-// append by design).
-func TestStepSteadyStateZeroAlloc(t *testing.T) {
+// TestZeroAllocStep enforces the zero-allocation contract of the hot loop
+// for every feature combination, telemetry included (time-series traces
+// excluded: they append by design). Part of the repository's allocation
+// gate (`go test -run TestZeroAlloc`).
+func TestZeroAllocStep(t *testing.T) {
 	for _, v := range benchVariants {
 		t.Run(v.name, func(t *testing.T) {
 			s := steadySim(t, v.cfg())

@@ -15,6 +15,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/control"
 	"repro/internal/dtm"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sensor"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -100,6 +102,24 @@ type Config struct {
 	// InitTemps optionally sets initial block temperatures (default:
 	// heatsink temperature everywhere).
 	InitTemps []float64
+	// Metrics, when non-nil, streams hot-loop instrumentation into the
+	// bundle's registry: cycle/commit/stall tallies (flushed every few
+	// thousand cycles, exact after Finish), controller sample events
+	// (saturation, anti-windup freezes, escalations), live temperature/
+	// duty gauges and sampled thermal-solver timing. The increment path
+	// is allocation-free and adds no measurable per-cycle cost.
+	Metrics *telemetry.SimMetrics
+	// Trace, when non-nil, records a structured telemetry sample
+	// (temperatures, duty, controller P/I/D terms, saturation,
+	// escalations) every TraceInterval cycles. The recorder may be
+	// shared by parallel runs; samples are labeled with TraceID.
+	Trace *telemetry.Recorder
+	// TraceInterval is the cycle stride for Trace samples (0 = the DTM
+	// sampling interval, 1000).
+	TraceInterval uint64
+	// TraceID labels this run's samples in a shared trace stream
+	// (default "benchmark/policy").
+	TraceID string
 }
 
 // BlockResult aggregates one block's thermal outcome.
@@ -230,6 +250,22 @@ type Sim struct {
 	stallLeft  uint64
 	cycle      uint64
 
+	// Telemetry. pid is the closed-loop controller (if the active policy
+	// wraps one), hoisted at construction so the hot loop reads its state
+	// without interface assertions. The m* fields snapshot the tallies
+	// already flushed to the metrics bundle, so the periodic flush pushes
+	// deltas and never double-counts.
+	pid      *control.PID
+	rec      *telemetry.Recorder
+	recEvery uint64
+	traceID  string
+	mCycles  uint64
+	mInsts   uint64
+	mStalls  uint64
+	mEmerg   uint64
+	mStress  uint64
+	mEsc     uint64
+
 	// Specialization flags, hoisted out of the hot loop so unconfigured
 	// features cost one predictable branch instead of interface/struct
 	// comparisons every cycle.
@@ -239,6 +275,7 @@ type Sim struct {
 	hasHier    bool
 	hasProxies bool
 	hasTrace   bool
+	hasMetrics bool
 	finished   bool
 }
 
@@ -416,12 +453,111 @@ func New(cfg Config) (*Sim, error) {
 		hasHier:    cfg.Hierarchy != nil,
 		hasProxies: len(proxies) > 0,
 		hasTrace:   res.TempTrace != nil,
+		hasMetrics: cfg.Metrics != nil,
 	}
 	for i := 0; i < nblk; i++ {
 		s.leakPeak[i] = net.Block(i).PeakPower
 	}
 	net.Temps(s.temps) // prime last-cycle temperatures for the leakage term
+
+	// Telemetry wiring: find the PID behind the active policy (if any) so
+	// traces and metrics can read controller internals without per-cycle
+	// type assertions.
+	if mgr != nil {
+		if ct, ok := mgr.Policy.(*dtm.CT); ok {
+			s.pid = ct.Controller()
+		}
+	}
+	if cfg.Hierarchy != nil {
+		if ct, ok := cfg.Hierarchy.Primary.(*dtm.CT); ok {
+			s.pid = ct.Controller()
+		}
+	}
+	if cfg.Trace != nil {
+		s.rec = cfg.Trace
+		s.recEvery = cfg.TraceInterval
+		if s.recEvery == 0 {
+			s.recEvery = dtm.DefaultSampleInterval
+		}
+		s.traceID = cfg.TraceID
+		if s.traceID == "" {
+			s.traceID = cfg.Workload.Name + "/" + policyName
+		}
+	}
 	return s, nil
+}
+
+// metricsFlushMask batches hot-loop counter flushes: every 8192 cycles the
+// sim pushes the delta of its local tallies into the shared registry, so
+// the per-cycle cost of metrics is a masked compare, not an atomic op.
+const metricsFlushMask = 1<<13 - 1
+
+// thermalTimeMask samples the thermal-solver timing every 1024 cycles —
+// frequent enough to populate the histogram, rare enough that the
+// time.Now() pair is invisible in the per-cycle budget.
+const thermalTimeMask = 1<<10 - 1
+
+// hottestTemp returns the maximum current block temperature.
+func (s *Sim) hottestTemp() float64 {
+	hot := s.temps[0]
+	for _, t := range s.temps[1:] {
+		if t > hot {
+			hot = t
+		}
+	}
+	return hot
+}
+
+// flushMetrics pushes the delta between the sim's local tallies and the
+// last flush into the metrics bundle, then refreshes the state gauges.
+func (s *Sim) flushMetrics() {
+	m := s.cfg.Metrics
+	res := s.res
+	if d := s.cycle - s.mCycles; d > 0 {
+		m.Cycles.Add(int64(d))
+		s.mCycles = s.cycle
+	}
+	if st := s.core.Stats(); st.Committed > s.mInsts {
+		m.Insts.Add(int64(st.Committed - s.mInsts))
+		s.mInsts = st.Committed
+	}
+	if res.StallCycles > s.mStalls {
+		m.StallCycles.Add(int64(res.StallCycles - s.mStalls))
+		s.mStalls = res.StallCycles
+	}
+	if res.EmergencyCycles > s.mEmerg {
+		m.EmergencyCycles.Add(int64(res.EmergencyCycles - s.mEmerg))
+		s.mEmerg = res.EmergencyCycles
+	}
+	if res.StressCycles > s.mStress {
+		m.StressCycles.Add(int64(res.StressCycles - s.mStress))
+		s.mStress = res.StressCycles
+	}
+	m.HotTemp.Set(s.hottestTemp())
+	m.Duty.Set(s.duty)
+	m.FreqFactor.Set(s.freqFactor)
+}
+
+// recordTrace emits one structured sample into the shared recorder.
+func (s *Sim) recordTrace(chip float64) {
+	smp := telemetry.Sample{
+		Run:         s.traceID,
+		Cycle:       s.cycle,
+		WallSeconds: s.res.WallSeconds,
+		HotTemp:     s.hottestTemp(),
+		Duty:        s.duty,
+		FreqFactor:  s.freqFactor,
+		ChipPower:   chip,
+		BlockTemps:  s.temps,
+	}
+	if s.pid != nil {
+		smp.PTerm, smp.ITerm, smp.DTerm = s.pid.Terms()
+		smp.Saturated = s.pid.Saturated()
+	}
+	if s.hasHier {
+		smp.Escalations = s.cfg.Hierarchy.Escalations()
+	}
+	s.rec.Record(&smp)
 }
 
 // Done reports whether the run has reached its instruction or cycle
@@ -484,6 +620,11 @@ func (s *Sim) Step() {
 	// steps; the fractional remainder carries across cycles so total
 	// integrated thermal time tracks wall time (within one cycle)
 	// instead of drifting by the per-cycle rounding error.
+	timeStep := s.hasMetrics && cycle&thermalTimeMask == 0
+	var t0 time.Time
+	if timeStep {
+		t0 = time.Now()
+	}
 	stepDt := s.dt
 	if s.freqFactor == 1 {
 		s.net.Step(powerVec)
@@ -499,6 +640,9 @@ func (s *Sim) Step() {
 		res.ThermalSeconds += float64(steps) * s.dt
 	}
 	res.WallSeconds += stepDt
+	if timeStep {
+		s.cfg.Metrics.ThermalStep.Observe(time.Since(t0).Seconds())
+	}
 
 	// Thermal bookkeeping.
 	s.net.Temps(s.temps)
@@ -566,6 +710,9 @@ func (s *Sim) Step() {
 		s.core.SetFetchLimit(a.FetchLimit)
 		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
 		s.stallLeft += stall
+		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
+			s.countDTMSample()
+		}
 	}
 	if s.hasScaling && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
 		f, stall := s.cfg.Scaling.Sample(s.temps)
@@ -581,6 +728,9 @@ func (s *Sim) Step() {
 		}
 		s.freqFactor = f
 		s.stallLeft += stall
+		if s.hasMetrics {
+			s.countDTMSample()
+		}
 	}
 	s.dutySum += s.duty
 
@@ -591,6 +741,36 @@ func (s *Sim) Step() {
 		res.DutyTrace.Add(cycle, s.duty)
 		for i := range res.BlockTrace {
 			res.BlockTrace[i].Add(cycle, s.temps[i])
+		}
+	}
+
+	// Telemetry: batched counter flush and structured trace samples.
+	if s.hasMetrics && cycle&metricsFlushMask == 0 {
+		s.flushMetrics()
+	}
+	if s.rec != nil && cycle%s.recEvery == 0 {
+		s.recordTrace(chip)
+	}
+}
+
+// countDTMSample tallies one controller sampling event and, when the
+// active policy wraps a PID, its saturation / anti-windup state. With a
+// hierarchy it also forwards newly accumulated escalations.
+func (s *Sim) countDTMSample() {
+	m := s.cfg.Metrics
+	m.DTMSamples.Inc()
+	if s.pid != nil {
+		if s.pid.Saturated() {
+			m.SaturatedSamples.Inc()
+		}
+		if s.pid.Frozen() {
+			m.WindupFreezes.Inc()
+		}
+	}
+	if s.hasHier {
+		if esc := s.cfg.Hierarchy.Escalations(); esc > s.mEsc {
+			m.Escalations.Add(int64(esc - s.mEsc))
+			s.mEsc = esc
 		}
 	}
 }
@@ -618,6 +798,9 @@ func (s *Sim) Finish() *Result {
 	}
 	if s.chipNode != nil {
 		res.SinkDrift = s.chipNode.T - s.cfg.Thresholds.SinkTemp
+	}
+	if s.hasMetrics {
+		s.flushMetrics() // make the registry exact at run end
 	}
 	return res
 }

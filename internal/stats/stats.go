@@ -95,6 +95,13 @@ func (b *Boxcar) Window() int { return len(b.buf) }
 
 // Add pushes a sample and returns the current average. Before the window
 // fills, the average is over the samples seen so far.
+//
+// The running sum is maintained incrementally (O(1) per sample) but
+// recomputed exactly from the buffer once per window wrap: the incremental
+// update `sum += x - evicted` accumulates floating-point rounding error
+// without bound over long streams (catastrophically so when a large
+// transient passes through the window), and the periodic recompute caps
+// the drift at one window's worth of roundoff.
 func (b *Boxcar) Add(x float64) float64 {
 	b.sum += x - b.buf[b.head]
 	b.buf[b.head] = x
@@ -102,6 +109,11 @@ func (b *Boxcar) Add(x float64) float64 {
 	if b.head == len(b.buf) {
 		b.head = 0
 		b.full = true
+		sum := 0.0
+		for _, v := range b.buf {
+			sum += v
+		}
+		b.sum = sum
 	}
 	return b.Avg()
 }

@@ -110,6 +110,59 @@ func TestBoxcarMatchesDirectAverage(t *testing.T) {
 	}
 }
 
+// TestBoxcarRecoversFromCatastrophicAbsorption pins the incremental-sum
+// drift fix: a large transient passing through the window used to destroy
+// the running sum permanently. With sum ~ 1e17, adding 1.0 is fully
+// absorbed (the ulp at 1e17 is 16), so when the spike was evicted the
+// incremental update `sum += 1 - spike` left ~1 instead of the true 8 —
+// and without the recompute-on-wrap the average stayed wrong forever.
+func TestBoxcarRecoversFromCatastrophicAbsorption(t *testing.T) {
+	const w = 8
+	const spike = 1e17
+	b := NewBoxcar(w)
+	feed := func(xs ...float64) {
+		for _, x := range xs {
+			b.Add(x)
+		}
+	}
+	ones := make([]float64, w)
+	for i := range ones {
+		ones[i] = 1
+	}
+	feed(ones...)          // steady window of 1s
+	feed(spike)            // transient enters
+	feed(ones[:w-1]...)    // window wraps with the spike inside
+	feed(ones...)          // transient evicted, another full wrap
+	if got := b.Avg(); got != 1 {
+		t.Fatalf("average after transient passed = %v, want exactly 1", got)
+	}
+
+	// And against a naive O(n) recomputation at every step of a stream
+	// that keeps pushing large/small magnitude flips through the window.
+	b.Reset()
+	var hist []float64
+	for i := 0; i < 10*w; i++ {
+		x := 1.0
+		if i%11 == 0 {
+			x = 1e15
+		}
+		hist = append(hist, x)
+		got := b.Add(x)
+		lo := len(hist) - w
+		if lo < 0 {
+			lo = 0
+		}
+		var sum float64
+		for _, v := range hist[lo:] {
+			sum += v
+		}
+		want := sum / float64(len(hist)-lo)
+		if math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Fatalf("step %d: incremental avg %v diverged from naive %v", i, got, want)
+		}
+	}
+}
+
 func TestEWMAConvergesToConstant(t *testing.T) {
 	e := NewEWMA(0.25)
 	for i := 0; i < 200; i++ {

@@ -1,0 +1,88 @@
+package telemetry
+
+// This file defines the pre-registered handle bundles the hot paths hold:
+// SimMetrics for the per-cycle simulation loop and RunnerMetrics for the
+// parallel experiment engine. Bundles are built per incrementer (one per
+// Sim, one per batch) against a shared Registry; registration is
+// get-or-create, so every bundle increments the same underlying metrics
+// while keeping its own uncontended counter stripes.
+
+// Standard bucket layouts.
+var (
+	// ThermalStepBuckets covers the per-cycle thermal solve: hundreds of
+	// nanoseconds to pathological milliseconds.
+	ThermalStepBuckets = []float64{250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6, 10e-6, 50e-6, 250e-6, 1e-3}
+	// RunSecondsBuckets covers one simulation's wall time: sub-second
+	// smoke runs to multi-minute full-fidelity runs.
+	RunSecondsBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+)
+
+// SimMetrics is the instrumentation bundle for one simulation: counter
+// handles the sim flushes its hot-loop tallies into, gauges holding the
+// live closed-loop state, and the sampled thermal-solver timing histogram.
+type SimMetrics struct {
+	// Hot-loop counters (flushed in batches by the sim, exact at Finish).
+	Cycles          *CounterHandle
+	Insts           *CounterHandle
+	StallCycles     *CounterHandle
+	EmergencyCycles *CounterHandle
+	StressCycles    *CounterHandle
+
+	// Controller-sample events.
+	DTMSamples       *CounterHandle
+	SaturatedSamples *CounterHandle
+	WindupFreezes    *CounterHandle
+	Escalations      *CounterHandle
+
+	// Live closed-loop state (last writer wins across parallel runs).
+	HotTemp    *Gauge
+	Duty       *Gauge
+	FreqFactor *Gauge
+
+	// ThermalStep is the sampled wall time of one thermal-network step.
+	ThermalStep *Histogram
+}
+
+// NewSimMetrics registers (or reuses) the simulation metric family on r and
+// returns a fresh handle bundle for one run.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Cycles:          r.Counter("sim_cycles_total", "Simulated clock cycles.").Handle(),
+		Insts:           r.Counter("sim_insts_total", "Committed instructions.").Handle(),
+		StallCycles:     r.Counter("sim_stall_cycles_total", "Trigger-mechanism and resync stall cycles.").Handle(),
+		EmergencyCycles: r.Counter("sim_emergency_cycles_total", "Cycles with any block above the emergency threshold.").Handle(),
+		StressCycles:    r.Counter("sim_stress_cycles_total", "Cycles with any block above the stress threshold.").Handle(),
+
+		DTMSamples:       r.Counter("dtm_samples_total", "DTM controller sampling events.").Handle(),
+		SaturatedSamples: r.Counter("dtm_saturated_samples_total", "Controller samples that hit an actuator bound.").Handle(),
+		WindupFreezes:    r.Counter("dtm_antiwindup_freezes_total", "Controller samples whose integrator was frozen by anti-windup.").Handle(),
+		Escalations:      r.Counter("dtm_escalations_total", "Hierarchy escalations to the backup mechanism.").Handle(),
+
+		HotTemp:    r.Gauge("sim_hottest_temp_celsius", "Hottest block temperature of the most recent flush."),
+		Duty:       r.Gauge("sim_fetch_duty", "Applied fetch duty of the most recent flush."),
+		FreqFactor: r.Gauge("sim_freq_factor", "Clock ratio of the most recent flush (1 = full speed)."),
+
+		ThermalStep: r.Histogram("sim_thermal_step_seconds", "Sampled wall time of one thermal-network step.", ThermalStepBuckets),
+	}
+}
+
+// RunnerMetrics is the experiment engine's bundle: batch/run lifecycle
+// counters, the live queue depth, and per-run wall time.
+type RunnerMetrics struct {
+	RunsStarted   *Counter
+	RunsCompleted *Counter
+	RunsFailed    *Counter
+	QueueDepth    *Gauge
+	RunSeconds    *Histogram
+}
+
+// NewRunnerMetrics registers (or reuses) the engine metric family on r.
+func NewRunnerMetrics(r *Registry) *RunnerMetrics {
+	return &RunnerMetrics{
+		RunsStarted:   r.Counter("runner_runs_started_total", "Simulation jobs started."),
+		RunsCompleted: r.Counter("runner_runs_completed_total", "Simulation jobs completed (including failures)."),
+		RunsFailed:    r.Counter("runner_runs_failed_total", "Simulation jobs that returned an error, panicked or were skipped."),
+		QueueDepth:    r.Gauge("runner_queue_depth", "Jobs not yet claimed by a worker."),
+		RunSeconds:    r.Histogram("runner_run_seconds", "Per-job wall time.", RunSecondsBuckets),
+	}
+}

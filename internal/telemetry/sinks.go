@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Sinks bundles the optional -trace / -metrics outputs of a command: a
+// registry collecting metrics for a final Prometheus-text dump and a
+// buffered JSONL trace recorder. Either half may be absent (nil Registry /
+// nil Recorder) when its flag was not given.
+type Sinks struct {
+	Registry *Registry
+	Recorder *Recorder
+
+	traceFile   *os.File
+	traceBuf    *bufio.Writer
+	metricsPath string
+}
+
+// OpenSinks prepares the telemetry outputs for a command invocation.
+// tracePath, when non-empty, receives JSONL samples ("-" = stdout);
+// metricsPath, when non-empty, receives the final metrics exposition at
+// Close ("-" = stderr). nblocks sizes the recorder's per-sample
+// temperature buffers (the floorplan block count).
+func OpenSinks(tracePath, metricsPath string, nblocks int) (*Sinks, error) {
+	s := &Sinks{metricsPath: metricsPath}
+	if metricsPath != "" {
+		s.Registry = NewRegistry()
+	}
+	if tracePath != "" {
+		var w io.Writer
+		if tracePath == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: open trace: %w", err)
+			}
+			s.traceFile = f
+			s.traceBuf = bufio.NewWriterSize(f, 1<<20)
+			w = s.traceBuf
+		}
+		if s.Registry == nil {
+			s.Registry = NewRegistry()
+		}
+		s.Recorder = NewRecorder(w, nblocks, 0)
+	}
+	return s, nil
+}
+
+// Close flushes the trace stream and writes the final metrics dump. It
+// returns the first error encountered; it is safe on a nil receiver.
+func (s *Sinks) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if s.Recorder != nil {
+		keep(s.Recorder.Flush())
+	}
+	if s.traceBuf != nil {
+		keep(s.traceBuf.Flush())
+	}
+	if s.traceFile != nil {
+		keep(s.traceFile.Close())
+	}
+	if s.metricsPath != "" && s.Registry != nil {
+		if s.metricsPath == "-" {
+			keep(s.Registry.WritePrometheus(os.Stderr))
+		} else {
+			f, err := os.Create(s.metricsPath)
+			if err != nil {
+				keep(err)
+			} else {
+				keep(s.Registry.WritePrometheus(f))
+				keep(f.Close())
+			}
+		}
+	}
+	return first
+}
