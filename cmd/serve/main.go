@@ -6,6 +6,7 @@
 // /debug/vars (expvar) and /debug/pprof endpoints.
 //
 //	serve -addr :8721
+//	serve -cache-dir .runcache                       # replay identical /run requests
 //	curl localhost:8721/run?bench=gcc&policy=PI      # one sim, JSON result
 //	curl localhost:8721/batch?kind=baseline          # async suite batch
 //	curl localhost:8721/batches                      # batch status
@@ -51,7 +52,8 @@ type batchState struct {
 // server owns the shared registry and the batch table.
 type server struct {
 	reg     *telemetry.Registry
-	ctx     context.Context // root context; cancelled on shutdown
+	cache   *runner.Cache[*sim.Result] // nil = no run cache
+	ctx     context.Context            // root context; cancelled on shutdown
 	insts   uint64
 	workers int
 
@@ -62,9 +64,10 @@ type server struct {
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8721", "HTTP listen address")
-		insts   = flag.Uint64("insts", 1_000_000, "committed instructions per run")
-		workers = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8721", "HTTP listen address")
+		insts    = flag.Uint64("insts", 1_000_000, "committed instructions per run")
+		workers  = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist /run results under this directory and replay identical requests (hit/miss counters on /metrics)")
 	)
 	flag.Parse()
 
@@ -77,6 +80,14 @@ func main() {
 		insts:   *insts,
 		workers: *workers,
 		batches: map[int]*batchState{},
+	}
+	if *cacheDir != "" {
+		cache, err := runner.NewCache[*sim.Result](*cacheDir, telemetry.NewCacheMetrics(s.reg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.cache = cache
 	}
 
 	mux := http.NewServeMux()
@@ -145,21 +156,39 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cfg := sim.Config{
-		Workload: prof,
-		MaxInsts: insts,
-		Metrics:  telemetry.NewSimMetrics(s.reg),
-	}
+	cfg := sim.Config{Workload: prof, MaxInsts: insts}
 	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The cache key is computed before the metrics bundle is attached:
+	// live instrumentation never changes the simulated trajectory, so a
+	// cached result answers the request exactly — a hit simply does not
+	// re-stream that run's per-cycle metrics into /metrics.
+	var key string
+	if s.cache != nil {
+		if k, ok := sim.CacheKey(cfg); ok {
+			key = k
+			if res, hit := s.cache.Get(key); hit {
+				writeJSON(w, runSummary(res))
+				return
+			}
+		}
+	}
+	cfg.Metrics = telemetry.NewSimMetrics(s.reg)
 	res, err := sim.RunContext(r.Context(), cfg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{
+	if key != "" {
+		s.cache.Put(key, res)
+	}
+	writeJSON(w, runSummary(res))
+}
+
+func runSummary(res *sim.Result) map[string]any {
+	return map[string]any{
 		"benchmark":  res.Benchmark,
 		"policy":     res.Policy,
 		"ipc":        res.IPC,
@@ -168,7 +197,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		"avg_power":  res.AvgChipPower,
 		"avg_duty":   res.AvgDuty,
 		"emerg_frac": res.EmergencyFrac(),
-	})
+	}
 }
 
 // handleBatch starts an asynchronous experiment batch and returns its ID

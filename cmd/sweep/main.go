@@ -37,6 +37,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		trace     = flag.String("trace", "", "write JSONL telemetry samples to this file")
 		metrics   = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
+		cacheDir  = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
 	)
 	flag.Parse()
 
@@ -116,19 +117,39 @@ func main() {
 		}
 	}
 
+	var cache *runner.Cache[*sim.Result]
+	if *cacheDir != "" {
+		var cm *telemetry.CacheMetrics
+		if sinks.Registry != nil {
+			cm = telemetry.NewCacheMetrics(sinks.Registry)
+		}
+		cache, err = runner.NewCache[*sim.Result](*cacheDir, cm)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// cached wraps one point's job in a run-cache lookup. Instrumented runs
+	// (live -trace/-metrics sinks) are rejected by sim.CacheKey and always
+	// execute.
+	cached := func(cfg sim.Config) runner.Job[*sim.Result] {
+		job := func(ctx context.Context) (*sim.Result, error) {
+			return sim.RunContext(ctx, cfg)
+		}
+		if key, ok := sim.CacheKey(cfg); ok {
+			return runner.CachedJob(cache, key, job)
+		}
+		return job
+	}
+
 	// Baseline rides along as job 0 so the whole sweep is one batch.
 	jobs := make([]runner.Job[*sim.Result], 0, len(points)+1)
-	jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
-		cfg := sim.Config{Workload: prof, MaxInsts: *insts}
-		instrument(&cfg, "base")
-		return sim.RunContext(ctx, cfg)
-	})
+	baseCfg := sim.Config{Workload: prof, MaxInsts: *insts}
+	instrument(&baseCfg, "base")
+	jobs = append(jobs, cached(baseCfg))
 	for _, pt := range points {
 		cfg, label := pt.cfg, pt.label
 		instrument(&cfg, label)
-		jobs = append(jobs, func(ctx context.Context) (*sim.Result, error) {
-			return sim.RunContext(ctx, cfg)
-		})
+		jobs = append(jobs, cached(cfg))
 	}
 	opts := runner.Options{Workers: *workers}
 	if sinks.Registry != nil {

@@ -9,6 +9,7 @@
 //	tables -workers 4      # bound batch parallelism
 //	tables -metrics m.prom # dump final Prometheus-text metrics
 //	tables -trace t.jsonl  # stream per-run telemetry samples
+//	tables -cache-dir .rc  # reuse identical runs across invocations
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		progress = flag.Bool("progress", true, "report per-run batch progress on stderr")
 		trace    = flag.String("trace", "", "write JSONL telemetry samples to this file (\"-\" = stdout)")
 		metrics  = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
+		cacheDir = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,17 @@ func main() {
 	p.Workers = *workers
 	p.Registry = sinks.Registry
 	p.Trace = sinks.Recorder
+	if *cacheDir != "" {
+		var cm *telemetry.CacheMetrics
+		if sinks.Registry != nil {
+			cm = telemetry.NewCacheMetrics(sinks.Registry)
+		}
+		p.Cache, err = runner.NewCache[*sim.Result](*cacheDir, cm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *progress {
 		p.Progress = func(pr runner.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%d failed, %v)  ",

@@ -109,6 +109,12 @@ func New(cfg Config, next *Cache) *Cache {
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// CountHit records a hit that bypassed the lookup. Callers that can prove
+// an access re-touches the most-recently-used line (e.g. sequential fetch
+// within one block) may skip Access entirely: re-touching the MRU line
+// leaves LRU order unchanged, so only the access counter must advance.
+func (c *Cache) CountHit() { c.stats.Accesses++ }
+
 // Stats returns a copy of the traffic counters.
 func (c *Cache) Stats() Stats { return c.stats }
 

@@ -45,6 +45,13 @@ type Params struct {
 	// TraceInterval is the cycle stride for Trace samples (0 = DTM
 	// sampling interval).
 	TraceInterval uint64
+	// Cache, when non-nil, memoizes completed runs by configuration
+	// fingerprint (sim.CacheKey), so repeated batches — the setpoint
+	// study and policy evaluation share their baselines, and repeated
+	// tool invocations with a disk-backed cache share everything — skip
+	// simulations entirely. Runs with live telemetry attached (Registry
+	// or Trace set) are not cacheable and always execute.
+	Cache *runner.Cache[*sim.Result]
 }
 
 // ctx returns the effective batch context.
@@ -93,8 +100,29 @@ func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
 				sp.cfg(&cfg)
 			}
 			p.instrument(&cfg, sp.bench+"/"+sp.policy)
-			return sim.RunContext(ctx, cfg)
+			return p.runSim(ctx, cfg)
 		})
+}
+
+// runSim executes one configured run, serving it from the params' cache
+// when one is attached and the configuration is cacheable (no telemetry
+// sinks). The key is computed after instrumentation on purpose: a run
+// that will stream metrics or traces must never be replayed from cache,
+// and CacheKey rejects exactly those.
+func (p Params) runSim(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if p.Cache != nil {
+		if key, ok := sim.CacheKey(cfg); ok {
+			if res, hit := p.Cache.Get(key); hit {
+				return res, nil
+			}
+			res, err := sim.RunContext(ctx, cfg)
+			if err == nil {
+				p.Cache.Put(key, res)
+			}
+			return res, err
+		}
+	}
+	return sim.RunContext(ctx, cfg)
 }
 
 // instrument attaches the params' telemetry sinks to one run's config. A
@@ -453,7 +481,7 @@ func Trace(p Params, benchName, policy string, stride uint64) (*sim.Result, erro
 		return nil, err
 	}
 	p.instrument(&cfg, benchName+"/"+policy)
-	return sim.RunContext(p.ctx(), cfg)
+	return p.runSim(p.ctx(), cfg)
 }
 
 // SeedStats summarizes a benchmark's metric spread across workload seeds —
@@ -492,7 +520,7 @@ func SeedStudy(p Params, benchName, policy string, n int) (SeedStats, error) {
 				return nil, err
 			}
 			p.instrument(&cfg, benchName+"/"+policy)
-			return sim.RunContext(ctx, cfg)
+			return p.runSim(ctx, cfg)
 		})
 	if err != nil {
 		return SeedStats{}, err

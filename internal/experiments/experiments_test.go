@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func smallParams() Params {
@@ -199,5 +201,63 @@ func TestBaselineProgressAndWorkers(t *testing.T) {
 		if r == nil || r.Benchmark != bench.Names()[i] {
 			t.Errorf("result %d out of order: %+v", i, r)
 		}
+	}
+}
+
+// TestRunSimCacheRoundTrip proves a cached result is byte-for-byte usable
+// in place of a fresh simulation: the warm pass must reproduce the cold
+// pass's headline metrics exactly (JSON encodes float64 losslessly), and
+// instrumented runs must bypass the cache entirely.
+func TestRunSimCacheRoundTrip(t *testing.T) {
+	cache, err := runner.NewCache[*sim.Result](t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Insts: 60_000, Cache: cache}
+	mkCfg := func() sim.Config {
+		prof, err := bench.ByName("gcc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
+		if err := bench.ApplyPolicy(&cfg, "PI", 0); err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	cold, err := p.runSim(context.Background(), mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after cold run, want 1", cache.Len())
+	}
+	warm, err := p.runSim(context.Background(), mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm == cold {
+		t.Fatal("warm run returned the same pointer; want a decoded copy")
+	}
+	if warm.IPC != cold.IPC || warm.Cycles != cold.Cycles ||
+		warm.Insts != cold.Insts || warm.Blocks[0].MaxTemp != cold.Blocks[0].MaxTemp ||
+		warm.EmergencyCycles != cold.EmergencyCycles ||
+		warm.StressCycles != cold.StressCycles ||
+		warm.AvgDuty != cold.AvgDuty || warm.Engagements != cold.Engagements ||
+		warm.Benchmark != cold.Benchmark {
+		t.Errorf("cached result differs from fresh run:\ncold %+v\nwarm %+v", cold, warm)
+	}
+
+	// Telemetry-instrumented runs must execute, not replay.
+	p.Registry = telemetry.NewRegistry()
+	if _, err := p.runSim(context.Background(), func() sim.Config {
+		cfg := mkCfg()
+		p.instrument(&cfg, "gcc/PI")
+		return cfg
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Error("instrumented run touched the cache")
 	}
 }

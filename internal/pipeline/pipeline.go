@@ -19,6 +19,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -162,6 +163,9 @@ type producerRef struct {
 	valid bool
 }
 
+// nilIdx terminates the intrusive scheduler lists below.
+const nilIdx = int16(-1)
+
 type entry struct {
 	op        isa.MicroOp
 	pred      bpred.Prediction
@@ -173,6 +177,16 @@ type entry struct {
 	src       [2]producerRef
 	inLSQ     bool
 	lsqIdx    int // ring index in Core.lsq while inLSQ
+
+	// Intrusive scheduler state. depHead chains the entries waiting on
+	// this entry's result (node encoding slot<<1|srcIdx); depNext[i] is
+	// this entry's link within the producer chain of source i; pending
+	// counts sources not yet available; bucketNext chains entries that
+	// complete on the same cycle (see Core.buckets).
+	depHead    int16
+	depNext    [2]int16
+	bucketNext int16
+	pending    uint8
 }
 
 type fetched struct {
@@ -220,11 +234,31 @@ type Core struct {
 	wrongPC        uint64
 	unresolvedCtrl int
 
+	// Same-line fetch filter: the I-cache is only ever accessed through
+	// the per-cycle fetch probe, so a probe to the same block as the
+	// previous hit cannot have been evicted in between and re-touching
+	// the MRU line is an LRU no-op — skip the lookup, count the access.
+	il1Shift      uint
+	lastFetchLine uint64
+	lastFetchHit  bool
+
 	// DTM actuator state.
 	fetchDuty     float64
 	dutyAcc       float64
 	fetchLimit    int // throttling: max ops fetched per cycle (0 = cfg width)
 	maxUnresolved int // speculation control (0 = off)
+
+	// Scheduler acceleration structures (exact-semantics replacements
+	// for the O(RUU) per-cycle complete/issue scans). readyBits holds one
+	// bit per RUU slot, set exactly when the slot holds a stWaiting entry
+	// whose sources are all available. buckets is a power-of-two ring of
+	// completion-chain heads indexed by doneCycle&bucketMask; each chain
+	// (linked via entry.bucketNext) holds the stIssued entries finishing
+	// on that cycle. Because the ring is longer than the longest possible
+	// latency and is drained every cycle, distinct cycles never collide.
+	readyBits  []uint64
+	buckets    []int16
+	bucketMask uint64
 
 	// progress watchdog
 	lastCommitCycle uint64
@@ -263,7 +297,37 @@ func New(cfg Config, gen workload.Source) (*Core, error) {
 
 		fetchDuty: 1.0,
 	}
+	// Size the completion ring to the worst-case op latency: TLB miss +
+	// L1D + L2 + memory for loads, which dominates every FU latency.
+	maxLat := 30 + cfg.L1D.Latency + cfg.L2.Latency + cache.MemLatency + 33
+	ring := 1
+	for ring <= maxLat {
+		ring <<= 1
+	}
+	c.buckets = make([]int16, ring)
+	for i := range c.buckets {
+		c.buckets[i] = nilIdx
+	}
+	c.bucketMask = uint64(ring - 1)
+	c.readyBits = make([]uint64, (cfg.RUUSize+63)/64)
+	for 1<<c.il1Shift < cfg.L1I.BlockSize {
+		c.il1Shift++
+	}
 	return c, nil
+}
+
+func (c *Core) setReady(slot int)   { c.readyBits[slot>>6] |= 1 << (uint(slot) & 63) }
+func (c *Core) clearReady(slot int) { c.readyBits[slot>>6] &^= 1 << (uint(slot) & 63) }
+
+// pushBucket files an issued entry under its completion cycle.
+func (c *Core) pushBucket(slot int, done uint64) {
+	if done-c.cycle > c.bucketMask {
+		panic(fmt.Sprintf("pipeline: completion latency %d exceeds bucket ring %d",
+			done-c.cycle, len(c.buckets)))
+	}
+	b := done & c.bucketMask
+	c.ruu[slot].bucketNext = c.buckets[b]
+	c.buckets[b] = int16(slot)
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -367,30 +431,53 @@ func (c *Core) commit(act *Activity) {
 	}
 }
 
-// complete marks issued entries whose latency elapsed as done, wakes
-// dependents (implicitly, via producer checks), and resolves control
-// transfers — triggering recovery for mispredictions.
+// complete drains this cycle's completion bucket: issued entries whose
+// latency elapsed become done, their dependents' pending counts drop
+// (waking those that become fully ready), and resolving mispredicted
+// control transfers trigger recovery at the oldest such entry.
 func (c *Core) complete(act *Activity) {
+	b := c.cycle & c.bucketMask
+	s := c.buckets[b]
+	if s < 0 {
+		return
+	}
+	c.buckets[b] = nilIdx
 	resolveAt := -1
-	s := c.ruuHead
-	for p := 0; p < c.ruuCount; p++ {
+	for s >= 0 {
 		e := &c.ruu[s]
-		if e.state == stIssued && e.doneCycle <= c.cycle {
-			e.state = stDone
-			act.WindowWakeups++
-			if e.op.Dest != isa.RegNone {
-				act.RegWrites++
-			}
-			if e.op.Class.IsCtrl() && !e.wrongPath {
-				c.unresolvedCtrl--
-				if e.mispred && resolveAt < 0 {
-					resolveAt = p
+		next := e.bucketNext
+		e.bucketNext = nilIdx
+		e.state = stDone
+		act.WindowWakeups++
+		if e.op.Dest != isa.RegNone {
+			act.RegWrites++
+		}
+		if e.op.Class.IsCtrl() && !e.wrongPath {
+			c.unresolvedCtrl--
+			if e.mispred {
+				pos := int(s) - c.ruuHead
+				if pos < 0 {
+					pos += len(c.ruu)
+				}
+				if resolveAt < 0 || pos < resolveAt {
+					resolveAt = pos
 				}
 			}
 		}
-		if s++; s == len(c.ruu) {
-			s = 0
+		// Wake dependents.
+		for n := e.depHead; n >= 0; {
+			slot := int(n >> 1)
+			i := int(n & 1)
+			d := &c.ruu[slot]
+			n = d.depNext[i]
+			if d.state == stWaiting && d.pending > 0 {
+				if d.pending--; d.pending == 0 {
+					c.setReady(slot)
+				}
+			}
 		}
+		e.depHead = nilIdx
+		s = next
 	}
 	if resolveAt >= 0 {
 		c.recover(resolveAt)
@@ -431,6 +518,7 @@ func (c *Core) recover(pos int) {
 	c.wrongPathMode = false
 	c.stats.Squashes++
 	c.rebuildProducers()
+	c.rebuildScheduler()
 	// Redirect: fetch resumes on the correct path next cycle; the
 	// front-end depth models the refill penalty.
 	if c.fetchReady < c.cycle+1 {
@@ -458,99 +546,164 @@ func (c *Core) rebuildProducers() {
 	}
 }
 
-// ready reports whether a source operand is available.
-func (c *Core) ready(ref producerRef) bool {
-	if !ref.valid {
-		return true
+// rebuildScheduler reconstructs the ready bitmap, completion buckets and
+// dependency chains from surviving RUU entries after a squash. Squashed
+// entries may sit in completion buckets and dependent chains; rebuilding
+// from scratch removes every such stale reference (chains must only ever
+// hold live entries, or slot reuse would corrupt them).
+func (c *Core) rebuildScheduler() {
+	for i := range c.readyBits {
+		c.readyBits[i] = 0
 	}
-	p := &c.ruu[ref.slot]
-	if p.op.Seq != ref.seq {
-		return true // producer retired and slot reused
+	for i := range c.buckets {
+		c.buckets[i] = nilIdx
 	}
-	return p.state == stDone && p.doneCycle <= c.cycle
+	s := c.ruuHead
+	for p := 0; p < c.ruuCount; p++ {
+		c.ruu[s].depHead = nilIdx
+		if s++; s == len(c.ruu) {
+			s = 0
+		}
+	}
+	s = c.ruuHead
+	for p := 0; p < c.ruuCount; p++ {
+		e := &c.ruu[s]
+		switch e.state {
+		case stIssued:
+			// recover runs after this cycle's bucket drained, so every
+			// surviving issued entry still completes in the future.
+			e.bucketNext = nilIdx
+			c.pushBucket(s, e.doneCycle)
+		case stWaiting:
+			e.pending = 0
+			e.depNext[0], e.depNext[1] = nilIdx, nilIdx
+			for i := range e.src {
+				ref := e.src[i]
+				if !ref.valid {
+					continue
+				}
+				pe := &c.ruu[ref.slot]
+				if pe.op.Seq == ref.seq && pe.state != stDone {
+					e.pending++
+					e.depNext[i] = pe.depHead
+					pe.depHead = int16(s<<1 | i)
+				}
+			}
+			if e.pending == 0 {
+				c.setReady(s)
+			}
+		}
+		if s++; s == len(c.ruu) {
+			s = 0
+		}
+	}
 }
 
 // issue selects up to IssueWidth ready entries oldest-first, respecting
-// per-side issue limits, functional-unit counts and memory ports.
+// per-side issue limits, functional-unit counts and memory ports. Ready
+// entries are found by iterating the ready bitmap in ring order (two
+// ascending-slot segments starting at ruuHead); entries skipped for lack
+// of an issue slot or functional unit keep their bit for the next cycle.
 func (c *Core) issue(act *Activity) {
+	if c.ruuCount == 0 {
+		return
+	}
 	issued := 0
 	intIss, fpIss := 0, 0
 	intALU, intMD, fpALU, fpMD, mem := c.cfg.IntALUs, c.cfg.IntMultDiv,
 		c.cfg.FPALUs, c.cfg.FPMultDiv, c.cfg.MemPorts
-	s := c.ruuHead
-	for p := 0; p < c.ruuCount && issued < c.cfg.IssueWidth; p++ {
-		e := &c.ruu[s]
-		if s++; s == len(c.ruu) {
-			s = 0
+	n := len(c.ruu)
+	for seg := 0; seg < 2 && issued < c.cfg.IssueWidth; seg++ {
+		lo, hi := c.ruuHead, n
+		if seg == 1 {
+			lo, hi = 0, c.ruuHead
 		}
-		if e.state != stWaiting {
+		if lo >= hi {
 			continue
 		}
-		if !c.ready(e.src[0]) || !c.ready(e.src[1]) {
-			continue
-		}
-		cls := e.op.Class
-		fp := cls.IsFP()
-		if fp && fpIss >= c.cfg.FPIssue {
-			continue
-		}
-		if !fp && intIss >= c.cfg.IntIssue {
-			continue
-		}
-		// Functional unit availability.
-		switch cls {
-		case isa.OpIntMult, isa.OpIntDiv:
-			if intMD == 0 {
+		for wi := lo >> 6; wi <= (hi-1)>>6 && issued < c.cfg.IssueWidth; wi++ {
+			w := c.readyBits[wi]
+			if w == 0 {
 				continue
 			}
-			intMD--
-		case isa.OpFPALU:
-			if fpALU == 0 {
-				continue
+			base := wi << 6
+			if base < lo {
+				w &= ^uint64(0) << (uint(lo) & 63)
 			}
-			fpALU--
-		case isa.OpFPMult, isa.OpFPDiv:
-			if fpMD == 0 {
-				continue
+			if base+64 > hi {
+				w &= ^uint64(0) >> (64 - uint(hi-base))
 			}
-			fpMD--
-		case isa.OpLoad, isa.OpStore:
-			if mem == 0 {
-				continue
+			for w != 0 && issued < c.cfg.IssueWidth {
+				slot := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				e := &c.ruu[slot]
+				cls := e.op.Class
+				fp := cls.IsFP()
+				if fp && fpIss >= c.cfg.FPIssue {
+					continue
+				}
+				if !fp && intIss >= c.cfg.IntIssue {
+					continue
+				}
+				// Functional unit availability.
+				switch cls {
+				case isa.OpIntMult, isa.OpIntDiv:
+					if intMD == 0 {
+						continue
+					}
+					intMD--
+				case isa.OpFPALU:
+					if fpALU == 0 {
+						continue
+					}
+					fpALU--
+				case isa.OpFPMult, isa.OpFPDiv:
+					if fpMD == 0 {
+						continue
+					}
+					fpMD--
+				case isa.OpLoad, isa.OpStore:
+					if mem == 0 {
+						continue
+					}
+					mem--
+				default:
+					if intALU == 0 {
+						continue
+					}
+					intALU--
+				}
+				lat := cls.Latency()
+				switch cls {
+				case isa.OpLoad:
+					lat = c.loadLatency(act, e)
+				case isa.OpStore:
+					// Address generation only; the write happens
+					// at commit.
+					lat = 1
+				}
+				e.state = stIssued
+				e.doneCycle = c.cycle + uint64(lat)
+				c.clearReady(slot)
+				c.pushBucket(slot, e.doneCycle)
+				issued++
+				if fp {
+					fpIss++
+					act.FPOps++
+				} else {
+					intIss++
+					if !cls.IsMem() {
+						act.IntOps++
+					}
+				}
+				act.WindowIssues++
+				if e.op.Src1 != isa.RegNone {
+					act.RegReads++
+				}
+				if e.op.Src2 != isa.RegNone {
+					act.RegReads++
+				}
 			}
-			mem--
-		default:
-			if intALU == 0 {
-				continue
-			}
-			intALU--
-		}
-		lat := cls.Latency()
-		switch cls {
-		case isa.OpLoad:
-			lat = c.loadLatency(act, e)
-		case isa.OpStore:
-			// Address generation only; the write happens at commit.
-			lat = 1
-		}
-		e.state = stIssued
-		e.doneCycle = c.cycle + uint64(lat)
-		issued++
-		if fp {
-			fpIss++
-			act.FPOps++
-		} else {
-			intIss++
-			if !cls.IsMem() {
-				act.IntOps++
-			}
-		}
-		act.WindowIssues++
-		if e.op.Src1 != isa.RegNone {
-			act.RegReads++
-		}
-		if e.op.Src2 != isa.RegNone {
-			act.RegReads++
 		}
 	}
 }
@@ -598,12 +751,15 @@ func (c *Core) dispatch(act *Activity) {
 		slot := c.slotAt(c.ruuCount)
 		e := &c.ruu[slot]
 		*e = entry{
-			op:        f.op,
-			pred:      f.pred,
-			hasPred:   f.hasPred,
-			wrongPath: f.wrongPath,
-			mispred:   f.mispred,
-			state:     stWaiting,
+			op:         f.op,
+			pred:       f.pred,
+			hasPred:    f.hasPred,
+			wrongPath:  f.wrongPath,
+			mispred:    f.mispred,
+			state:      stWaiting,
+			depHead:    nilIdx,
+			depNext:    [2]int16{nilIdx, nilIdx},
+			bucketNext: nilIdx,
 		}
 		for i, src := range [2]int16{f.op.Src1, f.op.Src2} {
 			if src == isa.RegNone {
@@ -611,7 +767,19 @@ func (c *Core) dispatch(act *Activity) {
 			}
 			if pr := c.regProd[src]; pr.valid {
 				e.src[i] = pr
+				p := &c.ruu[pr.slot]
+				// The producer is still in flight exactly when the
+				// slot has not been recycled and its result has not
+				// been broadcast; link into its dependent chain.
+				if p.op.Seq == pr.seq && p.state != stDone {
+					e.pending++
+					e.depNext[i] = p.depHead
+					p.depHead = int16(slot<<1 | i)
+				}
 			}
+		}
+		if e.pending == 0 {
+			c.setReady(slot)
 		}
 		if f.op.Dest != isa.RegNone {
 			c.regProd[f.op.Dest] = producerRef{slot: slot, seq: f.op.Seq, valid: true}
@@ -664,7 +832,15 @@ func (c *Core) fetch(act *Activity) {
 	// One I-cache access of fetch-width granularity per cycle
 	// (Section 5.1's fetch-model fix).
 	pcProbe := c.nextFetchPC()
-	lat, miss := c.il1.Access(pcProbe, false)
+	var lat int
+	var miss bool
+	if line := pcProbe >> c.il1Shift; c.lastFetchHit && line == c.lastFetchLine {
+		c.il1.CountHit()
+		lat, miss = c.cfg.L1I.Latency, false
+	} else {
+		lat, miss = c.il1.Access(pcProbe, false)
+		c.lastFetchLine, c.lastFetchHit = line, !miss
+	}
 	act.ICacheAccess++
 	if miss && !c.cfg.PerfectICache {
 		c.fetchReady = c.cycle + uint64(lat)

@@ -124,15 +124,102 @@ func DefaultConfig() Config {
 	}
 }
 
+// actSlot indexes the flattened per-cycle activity vector BlockPower
+// builds from an Activity record. Converting each counter to float64 once
+// and addressing it by index keeps the per-block power computation
+// branchless.
+type actSlot uint8
+
+const (
+	slLSQInserts actSlot = iota
+	slLSQSearches
+	slWindowInserts
+	slWindowIssues
+	slWindowWakeups
+	slRegReads
+	slRegWrites
+	slBPredAccess
+	slDCacheAccess
+	slIntOps
+	slFPOps
+	slZero // always 0: pad slot for unused terms
+	numActSlots
+)
+
+// blockTerms is one block's dynamic energy as up to three precomputed
+// (activity slot, joules/event) products. Unused terms point at slZero
+// with zero energy, so every block evaluates exactly three multiply-adds
+// in the event-kind order the calibration loop used (additions of 0.0
+// keep the sum bit-identical).
+type blockTerms struct {
+	s0, s1, s2 actSlot
+	e0, e1, e2 float64
+}
+
 // Model converts per-cycle pipeline activity into per-block watts.
 type Model struct {
 	cfg    Config
 	blocks []blockModel
+	terms  []blockTerms
 	// index by floorplan block id for the sim's power vector layout.
 	byID [floorplan.NumBlocks]int
+	// Hot-loop invariants hoisted out of the per-cycle calls.
+	dt          float64 // cycle time, cached
+	gateNone    bool
+	residual    float64
+	commitWidth float64
+	fetchWidth  float64
 	// Non-tracked chip power components.
 	otherBaseW float64 // clock tree, I/O, decode: always-on share
 	otherDynW  float64 // icache/L2/front-end dynamic share at full tilt
+}
+
+// termsFor flattens the events() mapping for one block into slot/energy
+// pairs ordered by event kind, preserving the original accumulation order.
+func termsFor(id floorplan.BlockID, energy [numEventKinds]float64) blockTerms {
+	type se struct {
+		s actSlot
+		e float64
+	}
+	var list []se
+	add := func(s actSlot, k eventKind) {
+		if energy[k] != 0 {
+			list = append(list, se{s, energy[k]})
+		}
+	}
+	// Kind order matters: evRead, evWrite, evMatch, evOp — the order the
+	// calibrated sum was accumulated in.
+	switch id {
+	case floorplan.LSQ:
+		add(slLSQInserts, evWrite)
+		add(slLSQSearches, evMatch)
+	case floorplan.Window:
+		add(slWindowIssues, evRead)
+		add(slWindowInserts, evWrite)
+		add(slWindowWakeups, evMatch)
+	case floorplan.RegFile:
+		add(slRegReads, evRead)
+		add(slRegWrites, evWrite)
+	case floorplan.BPred:
+		add(slBPredAccess, evRead)
+	case floorplan.DCache:
+		add(slDCacheAccess, evRead)
+	case floorplan.IntExec:
+		add(slIntOps, evOp)
+	case floorplan.FPExec:
+		add(slFPOps, evOp)
+	}
+	t := blockTerms{s0: slZero, s1: slZero, s2: slZero}
+	if len(list) > 0 {
+		t.s0, t.e0 = list[0].s, list[0].e
+	}
+	if len(list) > 1 {
+		t.s1, t.e1 = list[1].s, list[1].e
+	}
+	if len(list) > 2 {
+		t.s2, t.e2 = list[2].s, list[2].e
+	}
+	return t
 }
 
 // New builds and calibrates the model. Calibration scales each block's
@@ -200,12 +287,26 @@ func New(cfg Config) (*Model, error) {
 		}
 		m.byID[b.ID] = len(m.blocks)
 		m.blocks = append(m.blocks, bm)
+		m.terms = append(m.terms, termsFor(b.ID, bm.energy))
 	}
 	// Untracked chip power: front end, I-cache, L2, clock tree, result
 	// buses. Sized so total chip power lands in the paper's tens of
 	// watts; the base share runs whenever the clock does.
 	m.otherBaseW = 8.0
 	m.otherDynW = 14.0
+	m.dt = dt
+	m.gateNone = cfg.Gating == GateNone
+	m.residual = cfg.Gating.residual()
+	cw := pc.CommitWidth
+	if cw == 0 {
+		cw = 6
+	}
+	m.commitWidth = float64(cw)
+	fw := pc.FetchWidth
+	if fw < 1 {
+		fw = 1
+	}
+	m.fetchWidth = float64(fw)
 	return m, nil
 }
 
@@ -245,23 +346,38 @@ func events(id floorplan.BlockID, act *pipeline.Activity) [numEventKinds]int {
 // BlockPower fills out with this cycle's per-block power in watts, indexed
 // in the model's block order (matching the floorplan order used to build
 // the thermal network). out must have NumBlocks entries.
+//
+// The hot loop is branchless: the activity record is flattened into a
+// float64 vector once, and each block evaluates three precomputed
+// slot/energy products in the calibration's event-kind order (bit-identical
+// to the original per-kind accumulation).
 func (m *Model) BlockPower(act *pipeline.Activity, out []float64) {
 	if len(out) != len(m.blocks) {
 		panic(fmt.Sprintf("power: BlockPower out len %d, want %d", len(out), len(m.blocks)))
 	}
-	dt := m.cfg.Tech.CycleTime()
-	res := m.cfg.Gating.residual()
+	if m.gateNone {
+		for i := range m.blocks {
+			out[i] = m.blocks[i].peakW
+		}
+		return
+	}
+	var av [numActSlots]float64
+	av[slLSQInserts] = float64(act.LSQInserts)
+	av[slLSQSearches] = float64(act.LSQSearches)
+	av[slWindowInserts] = float64(act.WindowInserts)
+	av[slWindowIssues] = float64(act.WindowIssues)
+	av[slWindowWakeups] = float64(act.WindowWakeups)
+	av[slRegReads] = float64(act.RegReads)
+	av[slRegWrites] = float64(act.RegWrites)
+	av[slBPredAccess] = float64(act.BPredAccess)
+	av[slDCacheAccess] = float64(act.DCacheAccess)
+	av[slIntOps] = float64(act.IntOps)
+	av[slFPOps] = float64(act.FPOps)
+	dt, res := m.dt, m.residual
 	for i := range m.blocks {
 		b := &m.blocks[i]
-		if m.cfg.Gating == GateNone {
-			out[i] = b.peakW
-			continue
-		}
-		ev := events(b.id, act)
-		var dyn float64
-		for k := 0; k < int(numEventKinds); k++ {
-			dyn += float64(ev[k]) * b.energy[k]
-		}
+		t := &m.terms[i]
+		dyn := av[t.s0]*t.e0 + av[t.s1]*t.e1 + av[t.s2]*t.e2
 		b.ewma += ewmaAlpha * (dyn/dt - b.ewma)
 		p := b.ewma + res*b.peakW
 		if p > b.peakW {
@@ -279,14 +395,9 @@ func (m *Model) ChipPower(act *pipeline.Activity, blockPowers []float64) float64
 	for _, p := range blockPowers {
 		total += p
 	}
-	pc := m.cfg.Pipeline
-	width := pc.CommitWidth
-	if width == 0 {
-		width = 6
-	}
-	util := float64(act.Commits) / float64(width)
+	util := float64(act.Commits) / m.commitWidth
 	if act.FetchEnabled {
-		util += 0.5 * float64(act.Fetched) / float64(max(1, pc.FetchWidth))
+		util += 0.5 * float64(act.Fetched) / m.fetchWidth
 	}
 	if util > 1 {
 		util = 1

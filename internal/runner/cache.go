@@ -1,0 +1,181 @@
+package runner
+
+// Content-addressed run cache: batch engines use it to skip simulations
+// whose exact configuration has already been executed. The cache stores
+// the JSON encoding of the result under a caller-supplied key (usually
+// sim.CacheKey's SHA-256), in memory and optionally on disk. Entries are
+// decoded on every hit so callers always receive a private copy — cached
+// results can be mutated freely without poisoning later hits.
+//
+// The disk layer is crash-safe and self-healing: entries are written to a
+// temp file and renamed into place (readers never observe a torn write),
+// and a corrupted or unreadable entry is deleted and treated as a miss,
+// so the batch recomputes it instead of failing.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Cache memoizes results of type R by content-hash key. A nil *Cache is
+// valid and never hits, so call sites need no conditionals. All methods
+// are safe for concurrent use by a worker pool.
+type Cache[R any] struct {
+	mu      sync.Mutex
+	mem     map[string][]byte
+	dir     string
+	metrics *telemetry.CacheMetrics
+}
+
+// NewCache returns a run cache. dir, when non-empty, adds a persistent
+// on-disk layer (created if missing); entries there survive across
+// processes and warm the in-memory layer on first hit. metrics, when
+// non-nil, receives hit/miss/store/byte counters.
+func NewCache[R any](dir string, metrics *telemetry.CacheMetrics) (*Cache[R], error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: cache dir: %w", err)
+		}
+	}
+	return &Cache[R]{mem: make(map[string][]byte), dir: dir, metrics: metrics}, nil
+}
+
+// path maps a key to its disk entry. Keys are hex digests, but the hash
+// is not trusted to be path-safe: anything outside [0-9a-zA-Z_-] would
+// make the join traversable, so such keys simply never touch disk.
+func (c *Cache[R]) path(key string) string {
+	for _, r := range key {
+		safe := r >= '0' && r <= '9' || r >= 'a' && r <= 'z' ||
+			r >= 'A' && r <= 'Z' || r == '-' || r == '_'
+		if !safe {
+			return ""
+		}
+	}
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key, if present and intact.
+func (c *Cache[R]) Get(key string) (R, bool) {
+	var zero R
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	data, ok := c.mem[key]
+	c.mu.Unlock()
+	fromDisk := false
+	if !ok && c.dir != "" {
+		if p := c.path(key); p != "" {
+			if b, err := os.ReadFile(p); err == nil {
+				data, ok, fromDisk = b, true, true
+			}
+		}
+	}
+	if !ok {
+		c.count(func(m *telemetry.CacheMetrics) { m.Misses.Inc() })
+		return zero, false
+	}
+	var v R
+	if err := json.Unmarshal(data, &v); err != nil {
+		// Corrupted entry (torn write from a crashed process, manual
+		// truncation): drop it everywhere and recompute.
+		c.mu.Lock()
+		delete(c.mem, key)
+		c.mu.Unlock()
+		if c.dir != "" {
+			if p := c.path(key); p != "" {
+				os.Remove(p)
+			}
+		}
+		c.count(func(m *telemetry.CacheMetrics) { m.Misses.Inc() })
+		return zero, false
+	}
+	if fromDisk {
+		c.mu.Lock()
+		c.mem[key] = data
+		c.mu.Unlock()
+	}
+	c.count(func(m *telemetry.CacheMetrics) { m.Hits.Inc() })
+	return v, true
+}
+
+// Put stores v under key. Encoding or disk errors are swallowed: a cache
+// that cannot store is a cache that misses, never a batch failure.
+func (c *Cache[R]) Put(key string, v R) {
+	if c == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.mem[key] = data
+	c.mu.Unlock()
+	c.count(func(m *telemetry.CacheMetrics) {
+		m.Stores.Inc()
+		m.Bytes.Add(int64(len(data)))
+	})
+	if c.dir == "" {
+		return
+	}
+	p := c.path(key)
+	if p == "" {
+		return
+	}
+	// Atomic publish: write-to-temp + rename so concurrent readers (and
+	// future processes) only ever see complete entries.
+	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache[R]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+func (c *Cache[R]) count(f func(*telemetry.CacheMetrics)) {
+	if c.metrics != nil {
+		f(c.metrics)
+	}
+}
+
+// CachedJob wraps job so its result is served from (and stored into) the
+// cache under key. An empty key, or a nil cache, passes through.
+func CachedJob[R any](c *Cache[R], key string, job Job[R]) Job[R] {
+	if c == nil || key == "" {
+		return job
+	}
+	return func(ctx context.Context) (R, error) {
+		if v, ok := c.Get(key); ok {
+			return v, nil
+		}
+		v, err := job(ctx)
+		if err == nil {
+			c.Put(key, v)
+		}
+		return v, err
+	}
+}

@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+type payload struct {
+	Name  string
+	Score float64
+	Temps []float64
+}
+
+func samplePayload() payload {
+	return payload{Name: "gcc/PI", Score: 0.8732, Temps: []float64{111.2, 109.7}}
+}
+
+func TestCacheMemoryHitMiss(t *testing.T) {
+	c, err := NewCache[payload]("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k1", samplePayload())
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Name != "gcc/PI" || got.Score != 0.8732 || len(got.Temps) != 2 {
+		t.Fatalf("cache returned %+v", got)
+	}
+	// Hits are private copies: mutating one must not poison the next.
+	got.Temps[0] = -1
+	again, _ := c.Get("k1")
+	if again.Temps[0] != 111.2 {
+		t.Error("cache hit shares state with a previous hit")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("abc123", samplePayload())
+
+	// A second cache over the same directory — a later process — must
+	// serve the entry from disk and warm its memory layer.
+	c2, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("abc123")
+	if !ok {
+		t.Fatal("disk entry missed")
+	}
+	if got.Name != "gcc/PI" {
+		t.Fatalf("disk round-trip returned %+v", got)
+	}
+	if c2.Len() != 1 {
+		t.Error("disk hit did not warm the memory layer")
+	}
+}
+
+func TestCacheCorruptedEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("deadbeef", samplePayload())
+
+	entry := filepath.Join(dir, "deadbeef.json")
+	if err := os.WriteFile(entry, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("deadbeef"); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	// Self-healing: the bad entry is gone, and a recompute re-stores it.
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Error("corrupted entry not deleted")
+	}
+	c2.Put("deadbeef", samplePayload())
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Error("re-stored entry missed")
+	}
+}
+
+func TestCacheUnsafeKeyStaysOffDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("../escape", samplePayload())
+	if _, ok := c.Get("../escape"); !ok {
+		t.Error("unsafe key must still work in memory")
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); !os.IsNotExist(err) {
+		t.Error("unsafe key escaped the cache directory")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("unsafe key touched disk: %v", entries)
+	}
+}
+
+func TestCacheNilSafety(t *testing.T) {
+	var c *Cache[payload]
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache reported a hit")
+	}
+	c.Put("k", samplePayload()) // must not panic
+	if c.Len() != 0 {
+		t.Error("nil cache has entries")
+	}
+}
+
+func TestCacheMetricsCounters(t *testing.T) {
+	m := telemetry.NewCacheMetrics(telemetry.NewRegistry())
+	c, err := NewCache[payload]("", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Get("k")
+	c.Put("k", samplePayload())
+	c.Get("k")
+	if m.Misses.Value() != 1 || m.Hits.Value() != 1 || m.Stores.Value() != 1 {
+		t.Errorf("counters hits=%d misses=%d stores=%d, want 1/1/1",
+			m.Hits.Value(), m.Misses.Value(), m.Stores.Value())
+	}
+	if m.Bytes.Value() <= 0 {
+		t.Error("stored-bytes counter not advanced")
+	}
+}
+
+func TestCachedJob(t *testing.T) {
+	c, err := NewCache[payload]("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	job := func(context.Context) (payload, error) {
+		runs++
+		return samplePayload(), nil
+	}
+	wrapped := CachedJob(c, "key", job)
+	for i := 0; i < 3; i++ {
+		got, err := wrapped(context.Background())
+		if err != nil || got.Name != "gcc/PI" {
+			t.Fatalf("run %d: %+v, %v", i, got, err)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("job executed %d times, want 1 (rest cached)", runs)
+	}
+	// Nil cache and empty key pass through untouched.
+	runs = 0
+	for _, w := range []Job[payload]{CachedJob(nil, "key", job), CachedJob(c, "", job)} {
+		if _, err := w(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Errorf("passthrough wrappers executed %d times, want 2", runs)
+	}
+}

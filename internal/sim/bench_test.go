@@ -48,8 +48,9 @@ var benchVariants = []struct {
 	{"Plain", func() Config { return Config{} }},
 	{"Leakage", func() Config { return Config{Leakage: power.DefaultLeakage()} }},
 	{"DTM", func() Config { return Config{Manager: piManager()} }},
+	{"DTMEuler", func() Config { return Config{Manager: piManager(), ThermalStride: 1} }},
 	{"Proxies", func() Config { return Config{ProxyWindows: []int{10_000, 100_000}} }},
-	{"Scaling", func() Config { return Config{Scaling: dtm.NewFreqScaling(0, 0.75, 1 << 30)} }},
+	{"Scaling", func() Config { return Config{Scaling: dtm.NewFreqScaling(0, 0.75, 1<<30)} }},
 	{"Tangential", func() Config { return Config{Tangential: true} }},
 	{"Kitchen", func() Config {
 		return Config{

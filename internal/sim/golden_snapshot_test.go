@@ -1,0 +1,137 @@
+package sim
+
+// Temporary development aid: snapshots exact Result values for a matrix of
+// configurations so that semantics-preserving hot-path rewrites can be
+// verified bit-for-bit. Run with GOLDEN_OUT=/tmp/golden.json to write a
+// snapshot; GOLDEN_IN=/tmp/golden.json to compare against one.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/workload"
+)
+
+func fpProfile() workload.Profile {
+	return workload.Profile{
+		Name: "fpmix",
+		Seed: 1234,
+		Phases: []workload.Phase{
+			{
+				Insts:            200_000,
+				Mix:              workload.Mix{IntALU: 20, FPALU: 25, FPMult: 10, FPDiv: 1, Load: 24, Store: 8, Branch: 8, Call: 2},
+				DepMean:          6,
+				LoopIters:        40,
+				BodySize:         48,
+				NumLoops:         12,
+				BranchRandomFrac: 0.15,
+				BranchBias:       0.45,
+				WorkingSet:       2 << 20,
+				StreamFrac:       0.4,
+			},
+			{
+				Insts:            150_000,
+				Mix:              workload.Mix{IntALU: 40, IntMult: 4, IntDiv: 1, Load: 20, Store: 12, Branch: 18, Call: 3},
+				DepMean:          3,
+				LoopIters:        25,
+				BodySize:         32,
+				NumLoops:         30,
+				BranchRandomFrac: 0.3,
+				BranchBias:       0.5,
+				WorkingSet:       512 << 10,
+				StreamFrac:       0.2,
+			},
+		},
+	}
+}
+
+func goldenMatrix() map[string]Config {
+	const n = 300_000
+	mkInterrupt := func() *dtm.Manager {
+		m := dtm.NewManager(dtm.NewToggle1(110.3, 5))
+		m.Mechanism = dtm.Interrupt
+		return m
+	}
+	return map[string]Config{
+		"hot/none":      {Workload: hotProfile(), MaxInsts: n},
+		"hot/pi":        {Workload: hotProfile(), MaxInsts: n, Manager: newPIManager(111.1)},
+		"hot/toggle1":   {Workload: hotProfile(), MaxInsts: n, Manager: dtm.NewManager(dtm.NewToggle1(110.3, 5))},
+		"hot/manual":    {Workload: hotProfile(), MaxInsts: n, Manager: dtm.NewManager(dtm.NewManual(110.3, 111.3))},
+		"hot/throttle":  {Workload: hotProfile(), MaxInsts: n, Manager: dtm.NewManager(dtm.NewThrottle(110.3, 1, 5))},
+		"hot/specctl":   {Workload: hotProfile(), MaxInsts: n, Manager: dtm.NewManager(dtm.NewSpecControl(110.3, 1, 5))},
+		"hot/interrupt": {Workload: hotProfile(), MaxInsts: n, Manager: mkInterrupt()},
+		"hot/leak":      {Workload: hotProfile(), MaxInsts: n, Leakage: power.DefaultLeakage()},
+		"hot/fscale":    {Workload: hotProfile(), MaxInsts: n, Scaling: dtm.NewFreqScaling(110.3, 0.5, 5)},
+		"hot/hier": {Workload: hotProfile(), MaxInsts: n,
+			Hierarchy: dtm.NewHierarchy(&dtm.Toggle{Trigger: 110.3, EngagedDuty: 0.97, PolicyDelay: 5},
+				dtm.NewVoltageScaling(111.2, 0.5, 10), 111.2)},
+		"hot/tang":    {Workload: hotProfile(), MaxInsts: n, Tangential: true},
+		"hot/proxies": {Workload: hotProfile(), MaxInsts: n, ProxyWindows: []int{10_000, 100_000}},
+		"hot/sensor": {Workload: hotProfile(), MaxInsts: n, Manager: newPIManager(111.1),
+			Sensor: sensor.Sensor{Offset: -0.4, Quantum: 0.25}},
+		"hot/monitored": {Workload: hotProfile(), MaxInsts: n, Manager: newPIManager(111.1),
+			MonitoredBlocks: []floorplan.BlockID{floorplan.IntExec, floorplan.BPred}},
+		"hot/sink":   {Workload: hotProfile(), MaxInsts: n, CoupleChipSink: true},
+		"hot/trace":  {Workload: hotProfile(), MaxInsts: n, TraceStride: 1000},
+		"cold/none":  {Workload: coldProfile(), MaxInsts: n},
+		"cold/pi":    {Workload: coldProfile(), MaxInsts: n, Manager: newPIManager(111.1)},
+		"fp/none":    {Workload: fpProfile(), MaxInsts: n},
+		"fp/pi":      {Workload: fpProfile(), MaxInsts: n, Manager: newPIManager(111.1)},
+		"fp/toggle2": {Workload: fpProfile(), MaxInsts: n, Manager: dtm.NewManager(dtm.NewToggle2(110.3, 5))},
+		"fp/leak":    {Workload: fpProfile(), MaxInsts: n, Leakage: power.DefaultLeakage()},
+	}
+}
+
+type goldenEntry struct {
+	Result *Result
+	Trace  []float64 // flattened TempTrace Ys when present
+}
+
+func TestGoldenSnapshot(t *testing.T) {
+	out := os.Getenv("GOLDEN_OUT")
+	in := os.Getenv("GOLDEN_IN")
+	if out == "" && in == "" {
+		t.Skip("set GOLDEN_OUT or GOLDEN_IN")
+	}
+	got := map[string]goldenEntry{}
+	for name, cfg := range goldenMatrix() {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e := goldenEntry{Result: res}
+		if res.TempTrace != nil {
+			e.Trace = res.TempTrace.Ys
+		}
+		got[name] = e
+	}
+	if out != "" {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), out)
+	}
+	if in != "" {
+		buf, err := os.ReadFile(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBuf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(gotBuf) {
+			t.Errorf("results diverge from golden snapshot %s", in)
+			os.WriteFile(in+".new", gotBuf, 0o644)
+		}
+	}
+}

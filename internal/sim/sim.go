@@ -15,6 +15,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/control"
@@ -102,6 +103,19 @@ type Config struct {
 	// InitTemps optionally sets initial block temperatures (default:
 	// heatsink temperature everywhere).
 	InitTemps []float64
+	// ThermalStride selects the thermal integration mode. 0 (the
+	// default) auto-selects: the macro-stepped exponential fast path
+	// with DefaultThermalStride-cycle windows when the configuration
+	// allows it, otherwise the per-cycle Euler path. 1 forces the
+	// per-cycle Euler path (the paper's Equation 5 literally, needed
+	// for A/B validation). N>1 sets an explicit fast-path window of N
+	// cycles; configurations that require per-cycle temperatures
+	// (power proxies, the coupled chip/sink model) reject explicit
+	// strides. Windows are always flushed early at DTM sample
+	// boundaries, scaling/hierarchy samples, trace samples, telemetry
+	// flushes and Finish, so observable decision points see fresh
+	// temperatures.
+	ThermalStride uint64
 	// Metrics, when non-nil, streams hot-loop instrumentation into the
 	// bundle's registry: cycle/commit/stall tallies (flushed every few
 	// thousand cycles, exact after Finish), controller sample events
@@ -249,6 +263,22 @@ type Sim struct {
 	stepCarry  float64 // fractional thermal unit-steps owed (freq scaling)
 	stallLeft  uint64
 	cycle      uint64
+
+	// Macro-stepped thermal fast path. While fast is set, per-cycle
+	// block power is accumulated into powerAcc and the RC network is
+	// advanced once per window with the exact exponential solution;
+	// s.temps holds the window-start temperatures in between (frozen
+	// for the leakage term). winLen/winLeft track the current window,
+	// whose length is the stride clamped to the next cycle that needs
+	// fresh temperatures.
+	fast        bool
+	stride      uint64
+	winLen      uint64
+	winLeft     uint64
+	winFlushed  bool // this cycle ended a window
+	winFlushLen uint64
+	powerAcc    []float64
+	winTss      []float64
 
 	// Telemetry. pid is the closed-loop controller (if the active policy
 	// wraps one), hoisted at construction so the hot loop reads its state
@@ -460,6 +490,28 @@ func New(cfg Config) (*Sim, error) {
 	}
 	net.Temps(s.temps) // prime last-cycle temperatures for the leakage term
 
+	// Thermal integration mode. Power proxies need the per-cycle
+	// emergency signal and the coupled chip/sink model re-couples the
+	// sink temperature every cycle, so both require the Euler path.
+	fastOK := !s.hasProxies && !cfg.CoupleChipSink
+	stride := cfg.ThermalStride
+	if stride == 0 {
+		stride = 1
+		if fastOK {
+			stride = DefaultThermalStride
+		}
+	}
+	if stride > 1 && !fastOK {
+		return nil, fmt.Errorf("sim: ThermalStride %d requires per-cycle temperatures (proxies/coupled sink); set ThermalStride to 0 or 1", cfg.ThermalStride)
+	}
+	if stride > 1 {
+		s.fast = true
+		s.stride = stride
+		s.powerAcc = make([]float64, nblk)
+		s.winTss = make([]float64, nblk)
+		s.startWindow()
+	}
+
 	// Telemetry wiring: find the PID behind the active policy (if any) so
 	// traces and metrics can read controller internals without per-cycle
 	// type assertions.
@@ -486,6 +538,13 @@ func New(cfg Config) (*Sim, error) {
 	}
 	return s, nil
 }
+
+// DefaultThermalStride is the auto-selected fast-path window length in
+// cycles: long enough to amortize the window flush to noise, and five
+// hundred times shorter than the shortest block time constant (49 us ≈
+// 73k cycles), so constant-power windows track the per-cycle Euler
+// trajectory to well under a millidegree.
+const DefaultThermalStride = 256
 
 // metricsFlushMask batches hot-loop counter flushes: every 8192 cycles the
 // sim pushes the delta of its local tallies into the shared registry, so
@@ -615,11 +674,135 @@ func (s *Sim) Step() {
 		res.MaxChipPower = chip
 	}
 
-	// Thermal step at the effective clock period. Under frequency
-	// scaling one wall-clock cycle covers 1/freqFactor unit thermal
-	// steps; the fractional remainder carries across cycles so total
-	// integrated thermal time tracks wall time (within one cycle)
-	// instead of drifting by the per-cycle rounding error.
+	// Thermal advance. The fast path accumulates this cycle's power and
+	// advances the RC network once per window with the closed-form
+	// exponential (flushing early at every cycle that needs fresh
+	// temperatures, so the decision points below always observe current
+	// values); the Euler path is the paper's per-cycle difference
+	// equation plus the per-cycle features that require it (power
+	// proxies, the coupled chip/sink model). Under frequency scaling one
+	// wall-clock cycle covers 1/freqFactor unit thermal steps; the Euler
+	// path carries the fractional remainder across cycles, the fast path
+	// advances in continuous time so thermal time tracks wall time
+	// exactly.
+	if s.fast {
+		stepDt := s.dt
+		if s.freqFactor != 1 {
+			stepDt = s.dt / s.freqFactor
+		}
+		acc := s.powerAcc
+		for i, p := range powerVec {
+			acc[i] += p
+		}
+		res.WallSeconds += stepDt
+		res.ThermalSeconds += stepDt
+		s.winFlushed = false
+		if s.winLeft--; s.winLeft == 0 {
+			s.flushWindow(s.winLen)
+			s.winFlushed = true
+			s.winFlushLen = s.winLen
+			s.startWindow()
+		}
+	} else {
+		s.stepEuler(powerVec, chip, cycle)
+	}
+
+	// DTM. Policies observe the (possibly non-ideal, possibly partial)
+	// sensors. Manager state only changes on sample boundaries
+	// (StepActuation early-returns off-boundary with the actuation
+	// unchanged and the core setters are idempotent), so the whole block
+	// — including the sensor reads — runs only on boundaries. When a
+	// hierarchy also drives the duty, the per-cycle re-assert is kept.
+	if s.mgr != nil && !stalled &&
+		(s.hasHier || (s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0)) {
+		obs := s.temps
+		if s.monitor != nil {
+			s.sensed = s.sensed[:0]
+			for _, i := range s.monitor {
+				s.sensed = append(s.sensed, s.cfg.Sensor.Read(s.temps[i]))
+			}
+			obs = s.sensed
+		} else if s.hasSensor {
+			s.sensed = s.sensed[:len(s.temps)]
+			for i, t := range s.temps {
+				s.sensed[i] = s.cfg.Sensor.Read(t)
+			}
+			obs = s.sensed
+		}
+		a, stall := s.mgr.StepActuation(cycle, obs)
+		if a.FetchDuty != s.duty {
+			s.duty = a.FetchDuty
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.core.SetFetchLimit(a.FetchLimit)
+		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
+		s.stallLeft += stall
+		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
+			s.countDTMSample()
+		}
+	}
+	if s.hasScaling && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+		f, stall := s.cfg.Scaling.Sample(s.temps)
+		s.freqFactor = f
+		s.stallLeft += stall
+	}
+	if s.hasHier && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
+		d, f, stall := s.cfg.Hierarchy.SampleHierarchy(s.temps)
+		d = control.Quantize(d, 8)
+		if d != s.duty {
+			s.duty = d
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.freqFactor = f
+		s.stallLeft += stall
+		if s.hasMetrics {
+			s.countDTMSample()
+		}
+	}
+	s.dutySum += s.duty
+
+	// Traces. On the fast path only a window-ending cycle can be a record
+	// cycle (the window length is clamped to the next one), so the stride
+	// phase is advanced over the window interior in one Bump and a single
+	// sample is offered at the boundary, where temperatures are fresh.
+	if s.hasTrace {
+		if s.fast {
+			if s.winFlushed {
+				_, hot := s.net.Hottest()
+				res.TempTrace.Bump(s.winFlushLen - 1)
+				res.TempTrace.Add(cycle, hot)
+				res.DutyTrace.Bump(s.winFlushLen - 1)
+				res.DutyTrace.Add(cycle, s.duty)
+				for i := range res.BlockTrace {
+					res.BlockTrace[i].Bump(s.winFlushLen - 1)
+					res.BlockTrace[i].Add(cycle, s.temps[i])
+				}
+			}
+		} else {
+			_, hot := s.net.Hottest()
+			res.TempTrace.Add(cycle, hot)
+			res.DutyTrace.Add(cycle, s.duty)
+			for i := range res.BlockTrace {
+				res.BlockTrace[i].Add(cycle, s.temps[i])
+			}
+		}
+	}
+
+	// Telemetry: batched counter flush and structured trace samples.
+	if s.hasMetrics && cycle&metricsFlushMask == 0 {
+		s.flushMetrics()
+	}
+	if s.rec != nil && cycle%s.recEvery == 0 {
+		s.recordTrace(chip)
+	}
+}
+
+// stepEuler is the per-cycle thermal path: one (or, under frequency
+// scaling, carry-accumulated) Euler step, exact per-cycle bookkeeping,
+// and the per-cycle consumers that require it (Section 6 power proxies
+// and the coupled chip/sink extension).
+func (s *Sim) stepEuler(powerVec []float64, chip float64, cycle uint64) {
+	res := s.res
 	timeStep := s.hasMetrics && cycle&thermalTimeMask == 0
 	var t0 time.Time
 	if timeStep {
@@ -684,73 +867,204 @@ func (s *Sim) Step() {
 		s.chipNode.Step(chip, stepDt)
 		s.net.SetSinkTemp(s.chipNode.T)
 	}
+}
 
-	// DTM. Policies observe the (possibly non-ideal, possibly partial)
-	// sensors.
-	if s.mgr != nil && !stalled {
-		obs := s.temps
-		if s.monitor != nil {
-			s.sensed = s.sensed[:0]
-			for _, i := range s.monitor {
-				s.sensed = append(s.sensed, s.cfg.Sensor.Read(s.temps[i]))
-			}
-			obs = s.sensed
-		} else if s.hasSensor {
-			s.sensed = s.sensed[:len(s.temps)]
-			for i, t := range s.temps {
-				s.sensed[i] = s.cfg.Sensor.Read(t)
-			}
-			obs = s.sensed
-		}
-		a, stall := s.mgr.StepActuation(cycle, obs)
-		if a.FetchDuty != s.duty {
-			s.duty = a.FetchDuty
-			s.core.SetFetchDuty(s.duty)
-		}
-		s.core.SetFetchLimit(a.FetchLimit)
-		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
-		s.stallLeft += stall
-		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
-			s.countDTMSample()
-		}
-	}
-	if s.hasScaling && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-		f, stall := s.cfg.Scaling.Sample(s.temps)
-		s.freqFactor = f
-		s.stallLeft += stall
-	}
-	if s.hasHier && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-		d, f, stall := s.cfg.Hierarchy.SampleHierarchy(s.temps)
-		d = control.Quantize(d, 8)
-		if d != s.duty {
-			s.duty = d
-			s.core.SetFetchDuty(s.duty)
-		}
-		s.freqFactor = f
-		s.stallLeft += stall
-		if s.hasMetrics {
-			s.countDTMSample()
-		}
-	}
-	s.dutySum += s.duty
+// startWindow opens a new accumulation window at the current cycle.
+func (s *Sim) startWindow() {
+	s.winLen = s.nextWindowLen()
+	s.winLeft = s.winLen
+}
 
-	// Traces.
+// nextWindowLen clamps the configured stride so the window ends no later
+// than the next cycle that must observe fresh temperatures: DTM sample
+// boundaries, scaling/hierarchy samples, telemetry timing and flush
+// points, structured-trace samples, time-series record cycles and the
+// cycle budget. Every clamp yields a length of at least one cycle
+// because the next boundary is always strictly ahead of the current
+// cycle.
+func (s *Sim) nextWindowLen() uint64 {
+	c := s.cycle
+	w := s.stride
+	clampTo := func(interval uint64) {
+		if interval == 0 {
+			return
+		}
+		if d := (c/interval+1)*interval - c; d < w {
+			w = d
+		}
+	}
+	if s.mgr != nil {
+		clampTo(s.mgr.Interval)
+	}
+	if s.hasScaling || s.hasHier {
+		clampTo(dtm.DefaultSampleInterval)
+	}
+	if s.hasMetrics {
+		// Aligning windows to the timing-sample stride also aligns them
+		// to the (coarser, multiple) metrics-flush stride.
+		clampTo(thermalTimeMask + 1)
+	}
+	if s.rec != nil {
+		clampTo(s.recEvery)
+	}
 	if s.hasTrace {
-		_, hot := s.net.Hottest()
-		res.TempTrace.Add(cycle, hot)
-		res.DutyTrace.Add(cycle, s.duty)
-		for i := range res.BlockTrace {
-			res.BlockTrace[i].Add(cycle, s.temps[i])
+		// Series record cycles are 1, 1+stride, 1+2·stride, …: the Euler
+		// path offers a sample every cycle starting at cycle 1.
+		ts := s.res.TempTrace.Stride
+		next := uint64(1)
+		if c > 0 {
+			next = ((c-1)/ts+1)*ts + 1
+		}
+		if d := next - c; d < w {
+			w = d
 		}
 	}
+	if s.cfg.MaxCycles > c {
+		if d := s.cfg.MaxCycles - c; d < w {
+			w = d
+		}
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
 
-	// Telemetry: batched counter flush and structured trace samples.
-	if s.hasMetrics && cycle&metricsFlushMask == 0 {
-		s.flushMetrics()
+// flushWindow advances the RC network across a w-cycle window with the
+// closed-form exponential solution and reconstructs the per-cycle thermal
+// bookkeeping analytically. Within a constant-power window each block's
+// trajectory T(k) = tss + (T0−tss)·q^k (k = 1..w) is monotone toward its
+// steady state, so the per-block temperature sum, extrema and
+// above-threshold cycle counts follow from the endpoints and one
+// logarithm; the chip-level any-block-above counts are the exact union
+// of the per-block prefix (cooling) and suffix (heating) above-sets.
+// Frequency factors change only on window-ending cycles after the flush
+// has run, so s.freqFactor is constant across the window, and s.temps
+// still holds the window-start temperatures when this is called.
+func (s *Sim) flushWindow(w uint64) {
+	res := s.res
+	invF := 1.0
+	if s.freqFactor != 1 {
+		invF = 1 / s.freqFactor
 	}
-	if s.rec != nil && cycle%s.recEvery == 0 {
-		s.recordTrace(chip)
+	acc := s.powerAcc
+	fw := float64(w)
+	for i := range acc {
+		acc[i] /= fw // accumulated energy -> mean window power
 	}
+	timeStep := s.hasMetrics && s.cycle&thermalTimeMask == 0
+	var t0 time.Time
+	if timeStep {
+		t0 = time.Now()
+	}
+	q1, qn, qsum := s.net.WindowCoef(w, invF)
+	s.net.StepWindow(acc, w, invF, s.winTss)
+	if timeStep {
+		s.cfg.Metrics.ThermalStep.Observe(time.Since(t0).Seconds())
+	}
+
+	emTh := s.cfg.Thresholds.Emergency
+	stTh := s.cfg.Thresholds.Stress
+	var emPre, emSuf, stPre, stSuf uint64
+	for i := range acc {
+		tss := s.winTss[i]
+		d0 := s.temps[i] - tss
+		t1 := tss + d0*q1[i]
+		tw := tss + d0*qn[i]
+		lo, hi := t1, tw
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s.blockTemp[i].AddSpan(w, tss*fw+d0*qsum[i], lo, hi)
+		br := &res.Blocks[i]
+		if hi > br.MaxTemp {
+			br.MaxTemp = hi
+		}
+		lnq := invF * s.net.LogDecay(i)
+		if c, prefix := windowAbove(tss, d0, lnq, w, emTh, t1, tw); c > 0 {
+			br.EmergencyCycles += c
+			if prefix {
+				if c > emPre {
+					emPre = c
+				}
+			} else if c > emSuf {
+				emSuf = c
+			}
+		}
+		if c, prefix := windowAbove(tss, d0, lnq, w, stTh, t1, tw); c > 0 {
+			br.StressCycles += c
+			if prefix {
+				if c > stPre {
+					stPre = c
+				}
+			} else if c > stSuf {
+				stSuf = c
+			}
+		}
+		acc[i] = 0
+	}
+	// A prefix [1..p] and a suffix of length q union to min(p+q, w)
+	// cycles: disjoint when p+q <= w, the whole window otherwise.
+	if u := emPre + emSuf; u > 0 {
+		if u > w {
+			u = w
+		}
+		res.EmergencyCycles += u
+	}
+	if u := stPre + stSuf; u > 0 {
+		if u > w {
+			u = w
+		}
+		res.StressCycles += u
+	}
+	s.net.Temps(s.temps)
+}
+
+// windowAbove counts the cycles k in [1..w] whose closed-form temperature
+// tss + d0·exp(k·lnq) exceeds thr, and reports whether the above-set is a
+// prefix (true: cooling, or the whole window) or a suffix (false:
+// heating) of the window. t1 and tw are the precomputed endpoint
+// temperatures; monotonicity makes the endpoint checks decisive, and the
+// logarithmic crossing estimate is corrected with exact comparisons so
+// float error in the solve cannot shift the count.
+func windowAbove(tss, d0, lnq float64, w uint64, thr, t1, tw float64) (uint64, bool) {
+	if t1 <= thr && tw <= thr {
+		return 0, true
+	}
+	if t1 > thr && tw > thr {
+		return w, true
+	}
+	above := func(k uint64) bool {
+		return d0*math.Exp(float64(k)*lnq) > thr-tss
+	}
+	kf := math.Log((thr-tss)/d0) / lnq
+	var c uint64
+	switch {
+	case !(kf > 1):
+		c = 1
+	case kf >= float64(w):
+		c = w
+	default:
+		c = uint64(kf)
+	}
+	if d0 > 0 {
+		// Cooling: the above-set is the prefix [1..c].
+		for c > 0 && !above(c) {
+			c--
+		}
+		for c < w && above(c+1) {
+			c++
+		}
+		return c, true
+	}
+	// Heating: the above-set is the suffix [c..w].
+	for c > 1 && above(c-1) {
+		c--
+	}
+	for c <= w && !above(c) {
+		c++
+	}
+	return w - c + 1, false
 }
 
 // countDTMSample tallies one controller sampling event and, when the
@@ -782,6 +1096,22 @@ func (s *Sim) Finish() *Result {
 		return res
 	}
 	s.finished = true
+	// Flush a partially filled fast-path window so every simulated cycle
+	// is accounted for in the thermal statistics. No record cycle can
+	// fall inside the partial span (the window was clamped to end at the
+	// next one), so the trace phase just advances.
+	if s.fast {
+		if elapsed := s.winLen - s.winLeft; elapsed > 0 {
+			s.flushWindow(elapsed)
+			if s.hasTrace {
+				res.TempTrace.Bump(elapsed)
+				res.DutyTrace.Bump(elapsed)
+				for i := range res.BlockTrace {
+					res.BlockTrace[i].Bump(elapsed)
+				}
+			}
+		}
+	}
 	st := s.core.Stats()
 	res.Cycles = s.cycle
 	res.Insts = st.Committed

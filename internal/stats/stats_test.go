@@ -129,10 +129,10 @@ func TestBoxcarRecoversFromCatastrophicAbsorption(t *testing.T) {
 	for i := range ones {
 		ones[i] = 1
 	}
-	feed(ones...)          // steady window of 1s
-	feed(spike)            // transient enters
-	feed(ones[:w-1]...)    // window wraps with the spike inside
-	feed(ones...)          // transient evicted, another full wrap
+	feed(ones...)       // steady window of 1s
+	feed(spike)         // transient enters
+	feed(ones[:w-1]...) // window wraps with the spike inside
+	feed(ones...)       // transient evicted, another full wrap
 	if got := b.Avg(); got != 1 {
 		t.Fatalf("average after transient passed = %v, want exactly 1", got)
 	}

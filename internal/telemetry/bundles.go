@@ -66,6 +66,25 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 	}
 }
 
+// CacheMetrics is the run cache's bundle: lookup outcomes and the volume
+// of stored result payloads.
+type CacheMetrics struct {
+	Hits   *Counter
+	Misses *Counter
+	Stores *Counter
+	Bytes  *Counter
+}
+
+// NewCacheMetrics registers (or reuses) the run-cache metric family on r.
+func NewCacheMetrics(r *Registry) *CacheMetrics {
+	return &CacheMetrics{
+		Hits:   r.Counter("cache_hits_total", "Run-cache lookups served from cache."),
+		Misses: r.Counter("cache_misses_total", "Run-cache lookups that required a simulation (including corrupted entries)."),
+		Stores: r.Counter("cache_stores_total", "Results stored into the run cache."),
+		Bytes:  r.Counter("cache_stored_bytes_total", "Encoded bytes stored into the run cache."),
+	}
+}
+
 // RunnerMetrics is the experiment engine's bundle: batch/run lifecycle
 // counters, the live queue depth, and per-run wall time.
 type RunnerMetrics struct {

@@ -51,16 +51,32 @@ func DefaultConfig() Config {
 }
 
 // Network is the lumped per-block RC model. All temperatures are Celsius.
+// Per-block state is held in structure-of-arrays form so both the
+// per-cycle Euler step and the macro-stepped window advance stream through
+// flat float64 slices.
 type Network struct {
-	cfg    Config
-	temps  []float64
-	rInv   []float64 // 1/R per block
-	cInv   []float64 // 1/C per block
+	cfg   Config
+	temps []float64
+	rInv  []float64 // 1/R per block
+	cInv  []float64 // 1/C per block
+	r     []float64 // R per block (steady-state gain)
+	la    []float64 // log1p(-dt/(R·C)): per-step log decay
+
 	adj     [][]int // neighbor indices (tangential only)
 	gTan    [][]float64
-	scratch []float64 // pre-step temperatures (tangential only)
+	scratch []float64 // pre-step temperatures / frozen flows (tangential only)
+
 	idx    map[floorplan.BlockID]int
 	blocks []floorplan.Block
+
+	// Cached window-decay coefficient tables for the macro-stepped fast
+	// path, recomputed when the (window length, steps-per-cycle) pair
+	// changes — i.e. on stride clamping or frequency-scaling changes.
+	winW    uint64
+	winInvF float64
+	winQ1   []float64 // per-cycle decay exp(invF·la)
+	winQn   []float64 // whole-window decay exp(w·invF·la)
+	winSum  []float64 // Σ_{k=1..w} Q1^k (analytic temperature sum)
 }
 
 // New builds a Network from cfg. It panics on an empty block set or a
@@ -72,22 +88,35 @@ func New(cfg Config) *Network {
 	if cfg.CycleTime <= 0 {
 		panic(fmt.Sprintf("thermal: invalid cycle time %g", cfg.CycleTime))
 	}
+	nb := len(cfg.Blocks)
 	n := &Network{
 		cfg:    cfg,
-		temps:  make([]float64, len(cfg.Blocks)),
-		rInv:   make([]float64, len(cfg.Blocks)),
-		cInv:   make([]float64, len(cfg.Blocks)),
-		idx:    make(map[floorplan.BlockID]int, len(cfg.Blocks)),
+		temps:  make([]float64, nb),
+		rInv:   make([]float64, nb),
+		cInv:   make([]float64, nb),
+		r:      make([]float64, nb),
+		la:     make([]float64, nb),
+		winQ1:  make([]float64, nb),
+		winQn:  make([]float64, nb),
+		winSum: make([]float64, nb),
+		idx:    make(map[floorplan.BlockID]int, nb),
 		blocks: append([]floorplan.Block(nil), cfg.Blocks...),
 	}
 	for i, b := range n.blocks {
 		if b.R <= 0 || b.C <= 0 {
 			panic(fmt.Sprintf("thermal: block %v has non-positive R or C", b.ID))
 		}
+		n.idx[b.ID] = i
 		n.temps[i] = cfg.SinkTemp
 		n.rInv[i] = 1 / b.R
 		n.cInv[i] = 1 / b.C
-		n.idx[b.ID] = i
+		n.r[i] = b.R
+		// log1p keeps full precision for a = dt/(R·C) ~ 1e-5, so the
+		// window decay (1-a)^(w·invF) matches the compounded Euler
+		// factor instead of the continuous exp(-t/RC) (the two agree
+		// to ~a/2 relative, but the Euler form is what the per-cycle
+		// path integrates).
+		n.la[i] = math.Log1p(-cfg.CycleTime * n.rInv[i] * n.cInv[i])
 	}
 	if cfg.Tangential {
 		n.adj = make([][]int, len(n.blocks))
@@ -198,6 +227,87 @@ func (n *Network) StepN(power []float64, cycles uint64) {
 		tss := n.cfg.SinkTemp + power[i]*n.blocks[i].R
 		k := math.Exp(-t / (n.blocks[i].R * n.blocks[i].C))
 		n.temps[i] = tss + (n.temps[i]-tss)*k
+	}
+}
+
+// WindowCoef returns the per-block decay coefficient tables for a window
+// of w cycles advanced at invF unit thermal steps per cycle:
+//
+//	q1[i]  = (1-a_i)^invF        (one cycle's decay)
+//	qn[i]  = (1-a_i)^(w·invF)    (the whole window's decay)
+//	sum[i] = Σ_{k=1..w} q1[i]^k  (geometric sum for analytic averaging)
+//
+// with a_i = dt/(R_i·C_i). The tables are cached and only recomputed when
+// (w, invF) differs from the previous call — window lengths are sticky
+// between DTM/trace boundary clamps, so the steady state costs a compare.
+func (n *Network) WindowCoef(w uint64, invF float64) (q1, qn, sum []float64) {
+	if n.winW != w || n.winInvF != invF {
+		n.winW, n.winInvF = w, invF
+		fw := float64(w)
+		for i, l := range n.la {
+			e1 := math.Exp(invF * l)
+			en := math.Exp(fw * invF * l)
+			n.winQ1[i] = e1
+			n.winQn[i] = en
+			// Geometric series q+q²+…+q^w = q(1-q^w)/(1-q); the
+			// denominator is ~invF·a_i, far from cancellation.
+			n.winSum[i] = e1 * (1 - en) / (1 - e1)
+		}
+	}
+	return n.winQ1, n.winQn, n.winSum
+}
+
+// LogDecay returns log(1-a_i) for block i — the per-unit-step log decay
+// used by callers solving for threshold-crossing cycles analytically.
+func (n *Network) LogDecay(i int) float64 { return n.la[i] }
+
+// StepWindow advances every node by w cycles at invF unit thermal steps
+// per cycle under constant per-node power, using the closed form of the
+// compounded per-cycle update:
+//
+//	T(w) = Tss + (T(0) - Tss)·(1-a)^(w·invF),  Tss = Tsink + P·R
+//
+// which is exact for constant power in the Figure 3C (no-tangential)
+// model. With tangential coupling enabled, lateral flows are frozen at
+// their window-start values and folded into each node's effective power —
+// a first-order approximation whose error is bounded by the window length
+// relative to the block time constants (w·dt ≪ R·C).
+//
+// tssOut, when non-nil, receives each node's effective steady-state
+// target for the window, which callers need for analytic within-window
+// bookkeeping (the trajectory moves monotonically from T(0) toward
+// tssOut[i], so envelope checks at the endpoints are exact).
+func (n *Network) StepWindow(power []float64, w uint64, invF float64, tssOut []float64) {
+	if len(power) != len(n.temps) {
+		panic(fmt.Sprintf("thermal: StepWindow with %d powers for %d blocks", len(power), len(n.temps)))
+	}
+	_, qn, _ := n.WindowCoef(w, invF)
+	sink := n.cfg.SinkTemp
+	if n.adj != nil {
+		// Freeze lateral flows at window-start temperatures.
+		flows := n.scratch
+		for i, t := range n.temps {
+			f := 0.0
+			for k, j := range n.adj[i] {
+				f -= (t - n.temps[j]) * n.gTan[i][k]
+			}
+			flows[i] = f
+		}
+		for i, t := range n.temps {
+			tss := sink + (power[i]+flows[i])*n.r[i]
+			n.temps[i] = tss + (t-tss)*qn[i]
+			if tssOut != nil {
+				tssOut[i] = tss
+			}
+		}
+		return
+	}
+	for i, t := range n.temps {
+		tss := sink + power[i]*n.r[i]
+		n.temps[i] = tss + (t-tss)*qn[i]
+		if tssOut != nil {
+			tssOut[i] = tss
+		}
 	}
 }
 
