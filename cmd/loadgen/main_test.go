@@ -1,0 +1,83 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkSamples(ok, shed, clientErr, serverErr, netErr int) []sample {
+	var out []sample
+	add := func(n, status int, err error, lat time.Duration) {
+		for i := 0; i < n; i++ {
+			out = append(out, sample{endpoint: "/run", status: status, err: err, latency: lat})
+		}
+	}
+	add(ok, 200, nil, 20*time.Millisecond)
+	add(shed, 429, nil, 1*time.Millisecond)
+	add(clientErr, 400, nil, time.Millisecond)
+	add(serverErr, 500, nil, time.Millisecond)
+	add(netErr, 0, errors.New("connection refused"), time.Millisecond)
+	return out
+}
+
+func TestBuildReportClassifiesAndRates(t *testing.T) {
+	rep := build(mkSamples(6, 3, 1, 2, 1), "http://x", 2*time.Second, 4, 100, 0.1)
+	if rep.Requests != 13 || rep.OK != 6 || rep.Shed != 3 || rep.ClientErr != 1 || rep.ServerErr != 2 || rep.NetErr != 1 {
+		t.Fatalf("classification wrong: %+v", rep)
+	}
+	if rep.AchievedRPS != 6.5 {
+		t.Errorf("AchievedRPS = %v, want 6.5", rep.AchievedRPS)
+	}
+	wantShedRate := 3.0 / 13.0
+	if diff := rep.ShedRate - wantShedRate; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("ShedRate = %v, want %v", rep.ShedRate, wantShedRate)
+	}
+	if rep.OKLatency.P50 != 20 {
+		t.Errorf("ok p50 = %v ms, want 20", rep.OKLatency.P50)
+	}
+	if rep.ShedLatency.P99 != 1 {
+		t.Errorf("shed p99 = %v ms, want 1", rep.ShedLatency.P99)
+	}
+}
+
+func TestCheckReportGates(t *testing.T) {
+	// Healthy overload: plenty shed but some admitted, no errors → pass.
+	healthy := build(mkSamples(5, 95, 0, 0, 0), "u", time.Second, 8, 0, 0)
+	if fails := checkReport(healthy, 0); len(fails) != 0 {
+		t.Errorf("healthy overload flagged: %v", fails)
+	}
+	// Shed p99 bound: the synthetic sheds are 1ms, so 10ms passes and
+	// 500µs fails.
+	if fails := checkReport(healthy, 10*time.Millisecond); len(fails) != 0 {
+		t.Errorf("10ms shed bound flagged 1ms sheds: %v", fails)
+	}
+	if fails := checkReport(healthy, 500*time.Microsecond); len(fails) != 1 || !strings.Contains(fails[0], "p99 shed latency") {
+		t.Errorf("tight shed bound not enforced: %v", fails)
+	}
+
+	cases := []struct {
+		name string
+		rep  Report
+		want string
+	}{
+		{"no requests", build(nil, "u", time.Second, 1, 0, 0), "no requests"},
+		{"transport errors", build(mkSamples(1, 0, 0, 0, 2), "u", time.Second, 1, 0, 0), "transport"},
+		{"bad 4xx", build(mkSamples(1, 0, 1, 0, 0), "u", time.Second, 1, 0, 0), "4xx"},
+		{"5xx", build(mkSamples(1, 0, 0, 1, 0), "u", time.Second, 1, 0, 0), "5xx"},
+		{"total shed", build(mkSamples(0, 10, 0, 0, 0), "u", time.Second, 1, 0, 0), "100%"},
+	}
+	for _, c := range cases {
+		fails := checkReport(c.rep, 0)
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: failures %v missing %q", c.name, fails, c.want)
+		}
+	}
+}

@@ -1,26 +1,35 @@
-// Command serve runs experiment batches behind an HTTP interface with live
-// telemetry: the shared metrics registry is exposed in Prometheus text
-// format at /metrics while batches execute, so counters (cycles simulated,
-// DTM samples, saturation events, runner queue depth) can be scraped or
-// watched mid-run. Go runtime introspection rides along on the standard
-// /debug/vars (expvar) and /debug/pprof endpoints.
+// Command serve runs experiment batches behind a production-hardened HTTP
+// interface with live telemetry. The serving layer (internal/serving)
+// applies the paper's own actuator lesson to the admission path: a bounded
+// semaphore limits concurrent simulations, a short bounded queue absorbs
+// bursts, and overflow is shed immediately with 429 + Retry-After instead
+// of winding up into unbounded backlog. Every run carries a per-request
+// deadline, every error is a structured JSON body with a request ID, and
+// SIGINT drains in-flight batch goroutines before exit.
 //
-//	serve -addr :8721
+//	serve -addr :8721 -max-inflight 8 -queue 16 -run-timeout 30s
 //	serve -cache-dir .runcache                       # replay identical /run requests
+//	serve -chaos 0.2 -chaos-delay 100ms              # inject disk faults + slow sims
 //	curl localhost:8721/run?bench=gcc&policy=PI      # one sim, JSON result
 //	curl localhost:8721/batch?kind=baseline          # async suite batch
 //	curl localhost:8721/batches                      # batch status
 //	curl localhost:8721/metrics                      # Prometheus text
 //
-// SIGINT shuts the server down gracefully and cancels in-flight batches.
+// Overload semantics: when all -max-inflight slots are busy and the queue
+// is full (or a queued request waits longer than -queue-wait), /run
+// returns 429 with a Retry-After hint in well under 10ms. Accepted
+// requests are bounded by -run-timeout (504 on expiry); clients that hang
+// up mid-run are recorded as 499, not server errors. Admission, shed,
+// queue-depth and latency-histogram metrics are on /metrics.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -33,9 +42,22 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
+
+// serverConfig is everything main's flags decide; tests build it directly.
+type serverConfig struct {
+	insts        uint64
+	workers      int
+	maxBatches   int // concurrent /batch jobs admitted; <= 0 means 2
+	runTimeout   time.Duration
+	drainTimeout time.Duration
+	admission    serving.AdmissionConfig
+	cacheDir     string
+	chaos        *serving.Chaos // nil = no fault injection
+}
 
 // batchState tracks one asynchronous batch for /batches.
 type batchState struct {
@@ -49,90 +71,226 @@ type batchState struct {
 	Error   string    `json:"error,omitempty"`
 }
 
-// server owns the shared registry and the batch table.
+// server owns the shared registry, the admission controller, the batch
+// drainer and the batch table.
 type server struct {
-	reg     *telemetry.Registry
-	cache   *runner.Cache[*sim.Result] // nil = no run cache
-	ctx     context.Context            // root context; cancelled on shutdown
-	insts   uint64
-	workers int
+	cfg   serverConfig
+	reg   *telemetry.Registry
+	sm    *telemetry.ServingMetrics
+	cache *runner.Cache[*sim.Result] // nil = no run cache
+	adm   *serving.Admission
+	drain *serving.Drainer
+	ids   *serving.RequestIDs
+	logf  func(format string, args ...any)
 
-	mu      sync.Mutex
-	batches map[int]*batchState
-	nextID  int
+	mu           sync.Mutex
+	batches      map[int]*batchState
+	nextID       int
+	batchRunning int
+}
+
+// newServer builds the server and its routed mux. parent is the lifetime
+// context batch goroutines descend from (cancelled at drain).
+func newServer(parent context.Context, cfg serverConfig, logf func(format string, args ...any)) (*server, *http.ServeMux, error) {
+	if logf == nil {
+		logf = log.New(os.Stderr, "serve: ", log.LstdFlags).Printf
+	}
+	if cfg.maxBatches <= 0 {
+		cfg.maxBatches = 2
+	}
+	reg := telemetry.NewRegistry()
+	sm := telemetry.NewServingMetrics(reg)
+	s := &server{
+		cfg:     cfg,
+		reg:     reg,
+		sm:      sm,
+		adm:     serving.NewAdmission(cfg.admission, sm),
+		drain:   serving.NewDrainer(parent),
+		ids:     serving.NewRequestIDs(),
+		logf:    logf,
+		batches: map[int]*batchState{},
+	}
+	if cfg.cacheDir != "" {
+		cache, err := runner.NewCache[*sim.Result](cfg.cacheDir, telemetry.NewCacheMetrics(reg))
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.chaos != nil {
+			cache.SetFaultHook(cfg.chaos.DiskFault)
+		}
+		s.cache = cache
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/run", serving.Instrument(s.sm, s.handleRun))
+	mux.HandleFunc("/batch", serving.Instrument(s.sm, s.handleBatch))
+	mux.HandleFunc("/batches", s.handleBatches)
+	// expvar and pprof register themselves on the default mux; forward the
+	// whole /debug/ subtree there.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return s, mux, nil
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8721", "HTTP listen address")
-		insts    = flag.Uint64("insts", 1_000_000, "committed instructions per run")
-		workers  = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", "", "persist /run results under this directory and replay identical requests (hit/miss counters on /metrics)")
+		addr         = flag.String("addr", ":8721", "HTTP listen address")
+		insts        = flag.Uint64("insts", 1_000_000, "committed instructions per run")
+		workers      = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+		maxBatches   = flag.Int("max-batches", 2, "concurrent /batch jobs admitted; overflow sheds with 429")
+		cacheDir     = flag.String("cache-dir", "", "persist /run results under this directory and replay identical requests (hit/miss counters on /metrics)")
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrent /run simulations admitted (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("queue", 8, "requests allowed to wait for a slot; overflow sheds with 429")
+		queueWait    = flag.Duration("queue-wait", 250*time.Millisecond, "longest a queued request may wait before being shed")
+		runTimeout   = flag.Duration("run-timeout", 60*time.Second, "per-request simulation deadline (0 = none; expiry returns 504)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests and batches")
+		chaosProb    = flag.Float64("chaos", 0, "fault-injection probability: disk-cache failures and slow-sim delays (0 = off)")
+		chaosDelay   = flag.Duration("chaos-delay", 250*time.Millisecond, "injected slow-sim stall when -chaos fires")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "chaos RNG seed (runs are reproducible per seed)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	s := &server{
-		reg:     telemetry.NewRegistry(),
-		ctx:     ctx,
-		insts:   *insts,
-		workers: *workers,
-		batches: map[int]*batchState{},
+	cfg := serverConfig{
+		insts:        *insts,
+		workers:      *workers,
+		maxBatches:   *maxBatches,
+		runTimeout:   *runTimeout,
+		drainTimeout: *drainTimeout,
+		cacheDir:     *cacheDir,
+		admission: serving.AdmissionConfig{
+			MaxInFlight: *maxInFlight,
+			MaxQueue:    *maxQueue,
+			MaxWait:     *queueWait,
+		},
 	}
-	if *cacheDir != "" {
-		cache, err := runner.NewCache[*sim.Result](*cacheDir, telemetry.NewCacheMetrics(s.reg))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		s.cache = cache
+	if *chaosProb > 0 {
+		cfg.chaos = serving.NewChaos(*chaosSeed, *chaosProb, *chaosProb, *chaosDelay)
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/batches", s.handleBatches)
-	// expvar and pprof register themselves on the default mux; forward the
-	// whole /debug/ subtree there.
-	mux.Handle("/debug/", http.DefaultServeMux)
+	s, mux, err := newServer(ctx, cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	expvar.Publish("repro.batches", expvar.Func(func() any { return s.snapshot() }))
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving on %s (endpoints: /metrics /run /batch /batches /healthz /debug/vars /debug/pprof)\n", *addr)
+	adm := s.adm.Config()
+	s.logf("serving on %s (max-inflight %d, queue %d/%s, run-timeout %s, chaos %v)",
+		*addr, adm.MaxInFlight, adm.MaxQueue, adm.MaxWait, *runTimeout, cfg.chaos != nil)
 
 	select {
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: stop accepting and finish in-flight requests,
+		// then cancel background batches and await them.
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			s.logf("http shutdown: %v", err)
 		}
-		fmt.Fprintln(os.Stderr, "shut down")
+		if s.drain.Shutdown(*drainTimeout) {
+			s.logf("drained, shut down")
+		} else {
+			s.logf("drain timed out after %s with batches still running", *drainTimeout)
+			os.Exit(1)
+		}
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
+		s.logf("%v", err)
 		os.Exit(1)
 	}
+}
+
+// handleHealthz reports 200 while serving and 503 once draining, so load
+// balancers stop routing during shutdown.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.drain.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WritePrometheus(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.logf("metrics write: %v", err)
 	}
 }
 
-// handleRun executes one instrumented simulation synchronously and returns
-// a JSON summary. The request context cancels the run if the client goes
-// away.
+// handleRun executes one instrumented simulation synchronously under
+// admission control and the per-request deadline, returning a JSON
+// summary. Client disconnects map to 499, deadline expiry to 504, and
+// admission overflow to 429 with Retry-After.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+
+	cfg, err := s.runConfig(r)
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, err)
+		return
+	}
+
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		var shed *serving.ShedError
+		if errors.As(err, &shed) {
+			// Sheds are normal overload behavior, tracked by the shed
+			// counters — logging each one would melt the log under the
+			// very load the controller exists to absorb.
+			serving.WriteError(w, nil, reqID, http.StatusTooManyRequests, shed)
+			return
+		}
+		// The client went away while queued.
+		serving.WriteError(w, s.logf, reqID, serving.StatusClientClosedRequest, err)
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	if s.cfg.runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.runTimeout)
+		defer cancel()
+	}
+	if err := s.cfg.chaos.MaybeDelay(ctx); err != nil {
+		serving.WriteError(w, s.logf, reqID, serving.StatusForRunError(err), err)
+		return
+	}
+
+	// The cache key is computed before the metrics bundle is attached:
+	// live instrumentation never changes the simulated trajectory, so a
+	// cached result answers the request exactly — a hit simply does not
+	// re-stream that run's per-cycle metrics into /metrics.
+	var key string
+	if s.cache != nil {
+		if k, ok := sim.CacheKey(*cfg); ok {
+			key = k
+			if res, hit := s.cache.Get(key); hit {
+				s.writeJSON(w, reqID, http.StatusOK, runSummary(res, reqID, true))
+				return
+			}
+		}
+	}
+	cfg.Metrics = telemetry.NewSimMetrics(s.reg)
+	res, err := sim.RunContext(ctx, *cfg)
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, serving.StatusForRunError(err), err)
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, res)
+	}
+	s.writeJSON(w, reqID, http.StatusOK, runSummary(res, reqID, false))
+}
+
+// runConfig parses /run query parameters into a simulation config.
+func (s *server) runConfig(r *http.Request) (*sim.Config, error) {
 	q := r.URL.Query()
 	benchName := q.Get("bench")
 	if benchName == "" {
@@ -142,53 +300,32 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if policy == "" {
 		policy = "PI"
 	}
-	insts := s.insts
+	insts := s.cfg.insts
 	if v := q.Get("insts"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			http.Error(w, "bad insts: "+err.Error(), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("bad insts: %w", err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("bad insts: must be positive")
 		}
 		insts = n
 	}
 	prof, err := bench.ByName(benchName)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
 	cfg := sim.Config{Workload: prof, MaxInsts: insts}
 	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
-	// The cache key is computed before the metrics bundle is attached:
-	// live instrumentation never changes the simulated trajectory, so a
-	// cached result answers the request exactly — a hit simply does not
-	// re-stream that run's per-cycle metrics into /metrics.
-	var key string
-	if s.cache != nil {
-		if k, ok := sim.CacheKey(cfg); ok {
-			key = k
-			if res, hit := s.cache.Get(key); hit {
-				writeJSON(w, runSummary(res))
-				return
-			}
-		}
-	}
-	cfg.Metrics = telemetry.NewSimMetrics(s.reg)
-	res, err := sim.RunContext(r.Context(), cfg)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if key != "" {
-		s.cache.Put(key, res)
-	}
-	writeJSON(w, runSummary(res))
+	return &cfg, nil
 }
 
-func runSummary(res *sim.Result) map[string]any {
+func runSummary(res *sim.Result, reqID string, cached bool) map[string]any {
 	return map[string]any{
+		"request_id": reqID,
+		"cached":     cached,
 		"benchmark":  res.Benchmark,
 		"policy":     res.Policy,
 		"ipc":        res.IPC,
@@ -200,17 +337,20 @@ func runSummary(res *sim.Result) map[string]any {
 	}
 }
 
-// handleBatch starts an asynchronous experiment batch and returns its ID
-// immediately; progress is visible via /batches and /metrics.
+// handleBatch starts an asynchronous experiment batch on a drain-tracked
+// goroutine and returns its ID immediately; progress is visible via
+// /batches and /metrics. During shutdown new batches are refused with 503.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+
 	kind := r.URL.Query().Get("kind")
 	if kind == "" {
 		kind = "baseline"
 	}
 	p := experiments.DefaultParams()
-	p.Insts = s.insts
-	p.Workers = s.workers
-	p.Context = s.ctx
+	p.Insts = s.cfg.insts
+	p.Workers = s.cfg.workers
 	p.Registry = s.reg
 	if pols := r.URL.Query().Get("policies"); pols != "" {
 		p.Policies = strings.Split(pols, ",")
@@ -225,11 +365,23 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case "proxies":
 		run = func(p experiments.Params) error { _, _, err := experiments.ProxyTables(p, nil); return err }
 	default:
-		http.Error(w, fmt.Sprintf("unknown batch kind %q (baseline | policies | proxies)", kind), http.StatusBadRequest)
+		serving.WriteError(w, s.logf, reqID, http.StatusBadRequest,
+			fmt.Errorf("unknown batch kind %q (baseline | policies | proxies)", kind))
 		return
 	}
 
+	// Batches are admission-controlled too: each one fans a whole suite
+	// out across -workers cores, so unbounded concurrent batches would
+	// starve the fast /run and shed paths of CPU.
 	s.mu.Lock()
+	if s.batchRunning >= s.cfg.maxBatches {
+		running := s.batchRunning
+		s.mu.Unlock()
+		shed := &serving.ShedError{Reason: fmt.Sprintf("%d batches already running", running), RetryAfter: 5 * time.Second}
+		serving.WriteError(w, nil, reqID, http.StatusTooManyRequests, shed)
+		return
+	}
+	s.batchRunning++
 	s.nextID++
 	st := &batchState{ID: s.nextID, Kind: kind, Started: time.Now(), Running: true}
 	s.batches[st.ID] = st
@@ -240,23 +392,32 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		st.Done, st.Total, st.Failed = pr.Done, pr.Total, pr.Failed
 		s.mu.Unlock()
 	}
-	go func() {
-		err := run(p)
+	finish := func(err error) {
 		s.mu.Lock()
+		s.batchRunning--
 		st.Running = false
 		if err != nil {
 			st.Error = err.Error()
 		}
 		s.mu.Unlock()
-	}()
+	}
+	err := s.drain.Go(func(ctx context.Context) {
+		p.Context = ctx
+		finish(run(p))
+	})
+	if err != nil {
+		finish(err)
+		serving.WriteError(w, s.logf, reqID, http.StatusServiceUnavailable, err)
+		return
+	}
 	s.mu.Lock()
 	snap := *st // the batch goroutine mutates st concurrently
 	s.mu.Unlock()
-	writeJSON(w, snap)
+	s.writeJSON(w, reqID, http.StatusAccepted, snap)
 }
 
 func (s *server) handleBatches(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.snapshot())
+	s.writeJSON(w, "", http.StatusOK, s.snapshot())
 }
 
 // snapshot returns the batch table ordered by ID.
@@ -272,9 +433,11 @@ func (s *server) snapshot() []batchState {
 	return out
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+// writeJSON emits a JSON body and logs (rather than ignores) encode or
+// write failures — by then the status line is committed, so logging is
+// the only remaining channel.
+func (s *server) writeJSON(w http.ResponseWriter, reqID string, status int, v any) {
+	if err := serving.WriteJSON(w, status, v); err != nil {
+		s.logf("req %s: writing response: %v", reqID, err)
+	}
 }

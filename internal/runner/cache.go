@@ -10,18 +10,32 @@ package runner
 // The disk layer is crash-safe and self-healing: entries are written to a
 // temp file and renamed into place (readers never observe a torn write),
 // and a corrupted or unreadable entry is deleted and treated as a miss,
-// so the batch recomputes it instead of failing.
+// so the batch recomputes it instead of failing. Transient disk I/O
+// failures are retried with exponential backoff before the cache degrades
+// to a miss (reads) or drops the store (writes); an injectable fault hook
+// (SetFaultHook) lets cmd/serve's chaos mode prove that degradation stays
+// graceful under probabilistic disk failure.
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
+
+// Disk retry policy: diskAttempts tries per operation, sleeping
+// retryBackoff << attempt between tries. The backoff base is a variable
+// so tests can shrink it.
+const diskAttempts = 3
+
+var retryBackoff = 2 * time.Millisecond
 
 // Cache memoizes results of type R by content-hash key. A nil *Cache is
 // valid and never hits, so call sites need no conditionals. All methods
@@ -31,6 +45,7 @@ type Cache[R any] struct {
 	mem     map[string][]byte
 	dir     string
 	metrics *telemetry.CacheMetrics
+	faults  func(op string) error // nil = no fault injection
 }
 
 // NewCache returns a run cache. dir, when non-empty, adds a persistent
@@ -44,6 +59,81 @@ func NewCache[R any](dir string, metrics *telemetry.CacheMetrics) (*Cache[R], er
 		}
 	}
 	return &Cache[R]{mem: make(map[string][]byte), dir: dir, metrics: metrics}, nil
+}
+
+// SetFaultHook installs a fault injector called before every disk
+// operation attempt ("read", "write", "rename"); a non-nil return counts
+// as that attempt's I/O failure and is retried like a real one. Used by
+// chaos testing; nil disables injection. Not safe to call concurrently
+// with cache use.
+func (c *Cache[R]) SetFaultHook(f func(op string) error) {
+	if c != nil {
+		c.faults = f
+	}
+}
+
+// withRetry runs op up to diskAttempts times with exponential backoff,
+// counting retries and terminal failures in the metrics bundle. A
+// fs.ErrNotExist from op is returned immediately: a missing entry is a
+// plain miss, not a transient fault.
+func (c *Cache[R]) withRetry(name string, op func() error) error {
+	var err error
+	for attempt := 0; attempt < diskAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff << (attempt - 1))
+			c.count(func(m *telemetry.CacheMetrics) { m.DiskRetries.Inc() })
+		}
+		if c.faults != nil {
+			if err = c.faults(name); err != nil {
+				continue
+			}
+		}
+		if err = op(); err == nil || errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	c.count(func(m *telemetry.CacheMetrics) { m.DiskErrors.Inc() })
+	return err
+}
+
+// readDisk loads one entry file with retry.
+func (c *Cache[R]) readDisk(p string) ([]byte, error) {
+	var data []byte
+	err := c.withRetry("read", func() error {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		data = b
+		return nil
+	})
+	return data, err
+}
+
+// writeDisk atomically publishes one entry file (temp + rename) with
+// retry around the whole sequence, so a torn attempt is cleaned up and
+// redone rather than half-kept.
+func (c *Cache[R]) writeDisk(p, key string, data []byte) error {
+	return c.withRetry("write", func() error {
+		tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
+		if err != nil {
+			return err
+		}
+		_, werr := tmp.Write(data)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name())
+			if werr != nil {
+				return werr
+			}
+			return cerr
+		}
+		if err := os.Rename(tmp.Name(), p); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	})
 }
 
 // path maps a key to its disk entry. Keys are hex digests, but the hash
@@ -72,7 +162,7 @@ func (c *Cache[R]) Get(key string) (R, bool) {
 	fromDisk := false
 	if !ok && c.dir != "" {
 		if p := c.path(key); p != "" {
-			if b, err := os.ReadFile(p); err == nil {
+			if b, err := c.readDisk(p); err == nil {
 				data, ok, fromDisk = b, true, true
 			}
 		}
@@ -130,20 +220,9 @@ func (c *Cache[R]) Put(key string, v R) {
 		return
 	}
 	// Atomic publish: write-to-temp + rename so concurrent readers (and
-	// future processes) only ever see complete entries.
-	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-	}
+	// future processes) only ever see complete entries. Errors after the
+	// retry budget are swallowed by design — see the function comment.
+	_ = c.writeDisk(p, key, data)
 }
 
 // Len returns the number of in-memory entries.

@@ -2,9 +2,11 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -149,6 +151,104 @@ func TestCacheMetricsCounters(t *testing.T) {
 	}
 	if m.Bytes.Value() <= 0 {
 		t.Error("stored-bytes counter not advanced")
+	}
+}
+
+// flakyFaults injects failures for the first n attempts of each disk
+// operation, then heals — the shape of a transient I/O blip.
+type flakyFaults struct {
+	failures int
+	calls    int
+}
+
+func (f *flakyFaults) hook(op string) error {
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return errors.New("injected " + op + " fault")
+	}
+	return nil
+}
+
+func shrinkBackoff(t *testing.T) {
+	t.Helper()
+	old := retryBackoff
+	retryBackoff = 10 * time.Microsecond
+	t.Cleanup(func() { retryBackoff = old })
+}
+
+func TestCacheRetriesTransientWriteFault(t *testing.T) {
+	shrinkBackoff(t)
+	dir := t.TempDir()
+	m := telemetry.NewCacheMetrics(telemetry.NewRegistry())
+	c, err := NewCache[payload](dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyFaults{failures: diskAttempts - 1}
+	c.SetFaultHook(f.hook)
+	c.Put("abc", samplePayload())
+
+	// The entry must have survived to disk despite the first attempts
+	// failing: a fresh cache over the same dir serves it.
+	c2, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("abc"); !ok {
+		t.Fatal("entry lost despite retry budget covering the fault")
+	}
+	if got := m.DiskRetries.Value(); got != diskAttempts-1 {
+		t.Errorf("DiskRetries = %d, want %d", got, diskAttempts-1)
+	}
+	if got := m.DiskErrors.Value(); got != 0 {
+		t.Errorf("DiskErrors = %d, want 0", got)
+	}
+}
+
+func TestCacheExhaustedRetriesDegradeGracefully(t *testing.T) {
+	shrinkBackoff(t)
+	dir := t.TempDir()
+	m := telemetry.NewCacheMetrics(telemetry.NewRegistry())
+	c, err := NewCache[payload](dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultHook(func(op string) error { return errors.New("disk on fire") })
+	c.Put("abc", samplePayload()) // must not panic or error out
+
+	if got := m.DiskErrors.Value(); got != 1 {
+		t.Errorf("DiskErrors = %d, want 1", got)
+	}
+	// The memory layer still serves the entry; only persistence degraded.
+	if _, ok := c.Get("abc"); !ok {
+		t.Fatal("memory layer lost the entry")
+	}
+	// A fresh process sees nothing on disk, and its own faulty reads
+	// degrade to misses rather than failures.
+	c2, err := NewCache[payload](dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetFaultHook(func(op string) error { return errors.New("disk still on fire") })
+	if _, ok := c2.Get("abc"); ok {
+		t.Fatal("hit served through a permanently failing disk")
+	}
+}
+
+func TestCacheMissingEntryIsNotRetried(t *testing.T) {
+	shrinkBackoff(t)
+	dir := t.TempDir()
+	m := telemetry.NewCacheMetrics(telemetry.NewRegistry())
+	c, err := NewCache[payload](dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("nothere"); ok {
+		t.Fatal("phantom hit")
+	}
+	if got := m.DiskRetries.Value(); got != 0 {
+		t.Errorf("a plain miss burned %d retries, want 0", got)
 	}
 }
 

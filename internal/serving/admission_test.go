@@ -1,0 +1,205 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 2, MaxQueue: 0, MaxWait: 50 * time.Millisecond}, nil)
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	rel2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	rel1()
+	rel1() // idempotent: a double release must not free a second slot
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("InFlight after release = %d, want 1", got)
+	}
+	rel2()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after both releases = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewServingMetrics(reg)
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 0, MaxWait: time.Second}, m)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	elapsed := time.Since(start)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if shed.Reason != "queue full" {
+		t.Fatalf("Reason = %q, want queue full", shed.Reason)
+	}
+	if shed.RetryAfterSeconds() < 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want >= 1", shed.RetryAfterSeconds())
+	}
+	// The whole point of a zero queue: the shed is immediate, not a
+	// MaxWait-long stall.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("queue-full shed took %v, want immediate", elapsed)
+	}
+	if got := m.ShedQueueFull.Value(); got != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", got)
+	}
+}
+
+func TestAdmissionQueueWaitTimeout(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewServingMetrics(reg)
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: 30 * time.Millisecond}, m)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+
+	_, err = a.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if shed.Reason != "wait timeout" {
+		t.Fatalf("Reason = %q, want wait timeout", shed.Reason)
+	}
+	if got := m.ShedWaitTimeout.Value(); got != 1 {
+		t.Fatalf("ShedWaitTimeout = %d, want 1", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued after timeout = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueuedRequestGetsFreedSlot(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, MaxWait: 2 * time.Second}, nil)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := a.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Let the waiter enter the queue, then free the slot.
+	for i := 0; i < 200 && a.Queued() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Queued() != 1 {
+		t.Fatalf("waiter never queued")
+	}
+	rel()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never completed")
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, MaxWait: 5 * time.Second}, nil)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		got <- err
+	}()
+	for i := 0; i < 200 && a.Queued() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+}
+
+// TestAdmissionBoundHoldsUnderContention hammers the controller from many
+// goroutines and asserts the concurrency invariant: the number of callers
+// between Acquire success and release never exceeds MaxInFlight.
+func TestAdmissionBoundHoldsUnderContention(t *testing.T) {
+	const limit = 3
+	a := NewAdmission(AdmissionConfig{MaxInFlight: limit, MaxQueue: 2, MaxWait: 5 * time.Millisecond}, nil)
+	var (
+		cur, peak, admitted, shed int64
+		mu                        sync.Mutex
+		wg                        sync.WaitGroup
+	)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := a.Acquire(context.Background())
+				if err != nil {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				admitted++
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > limit {
+		t.Fatalf("observed %d concurrent holders, limit %d", peak, limit)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Fatalf("leaked state: inflight=%d queued=%d", a.InFlight(), a.Queued())
+	}
+}

@@ -1,0 +1,94 @@
+package serving
+
+// Chaos is the fault-injection hook behind cmd/serve's -chaos flag: it
+// makes degradation testable by injecting probabilistic disk-cache
+// failures (exercising runner.Cache's retry-with-backoff) and slow-sim
+// delays (exercising deadlines and admission backpressure) without
+// touching the simulation itself. A seeded generator keeps a chaos run
+// reproducible.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Chaos injects faults with fixed probabilities. The zero value and the
+// nil pointer are inert, so call sites need no conditionals.
+type Chaos struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// FailProb is the probability that a guarded disk operation fails
+	// with an injected error.
+	FailProb float64
+	// SlowProb is the probability that MaybeDelay stalls for SlowDelay.
+	SlowProb float64
+	// SlowDelay is the injected stall duration.
+	SlowDelay time.Duration
+}
+
+// NewChaos builds a seeded chaos source. failProb and slowProb are
+// clamped to [0, 1].
+func NewChaos(seed int64, failProb, slowProb float64, slowDelay time.Duration) *Chaos {
+	return &Chaos{
+		rng:       rand.New(rand.NewSource(seed)),
+		FailProb:  clamp01(failProb),
+		SlowProb:  clamp01(slowProb),
+		SlowDelay: slowDelay,
+	}
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// roll draws one uniform sample; safe on nil and on the zero value.
+func (c *Chaos) roll(p float64) bool {
+	if c == nil || p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(0))
+	}
+	return c.rng.Float64() < p
+}
+
+// DiskFault returns an injected error with probability FailProb. It has
+// the signature runner.Cache expects from its fault hook.
+func (c *Chaos) DiskFault(op string) error {
+	if c == nil {
+		return nil
+	}
+	if c.roll(c.FailProb) {
+		return fmt.Errorf("chaos: injected %s fault", op)
+	}
+	return nil
+}
+
+// MaybeDelay stalls for SlowDelay with probability SlowProb, honoring ctx
+// cancellation; the returned error is the context error when the stall
+// was interrupted, nil otherwise.
+func (c *Chaos) MaybeDelay(ctx context.Context) error {
+	if c == nil || c.SlowDelay <= 0 || !c.roll(c.SlowProb) {
+		return nil
+	}
+	t := time.NewTimer(c.SlowDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

@@ -1,0 +1,57 @@
+package serving
+
+// Latency-sample aggregation shared by cmd/loadgen's report and the
+// serving tests: exact quantiles over a recorded sample set (loadgen runs
+// are short enough that keeping every sample is cheaper and more precise
+// than a streaming sketch).
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of samples using linear
+// interpolation between order statistics. It returns 0 for an empty set
+// and does not modify samples.
+func Quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the requested quantiles in one sort.
+func Quantiles(samples []time.Duration, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []time.Duration, q float64) time.Duration {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}

@@ -15,6 +15,12 @@ var (
 	// RunSecondsBuckets covers one simulation's wall time: sub-second
 	// smoke runs to multi-minute full-fidelity runs.
 	RunSecondsBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+	// AdmissionWaitBuckets covers the time a request spends queued for an
+	// execution slot: instant grants to the configured queue-wait bound.
+	AdmissionWaitBuckets = []float64{10e-6, 100e-6, 1e-3, 5e-3, 25e-3, 100e-3, 500e-3, 2.5}
+	// RequestSecondsBuckets covers HTTP request latency end to end: fast
+	// sheds and cache hits through full simulations.
+	RequestSecondsBuckets = []float64{1e-3, 5e-3, 10e-3, 25e-3, 100e-3, 250e-3, 1, 2.5, 10, 30, 120}
 )
 
 // SimMetrics is the instrumentation bundle for one simulation: counter
@@ -66,22 +72,74 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 	}
 }
 
-// CacheMetrics is the run cache's bundle: lookup outcomes and the volume
-// of stored result payloads.
+// CacheMetrics is the run cache's bundle: lookup outcomes, the volume of
+// stored result payloads, and disk-layer retry/failure counts.
 type CacheMetrics struct {
-	Hits   *Counter
-	Misses *Counter
-	Stores *Counter
-	Bytes  *Counter
+	Hits        *Counter
+	Misses      *Counter
+	Stores      *Counter
+	Bytes       *Counter
+	DiskRetries *Counter
+	DiskErrors  *Counter
 }
 
 // NewCacheMetrics registers (or reuses) the run-cache metric family on r.
 func NewCacheMetrics(r *Registry) *CacheMetrics {
 	return &CacheMetrics{
-		Hits:   r.Counter("cache_hits_total", "Run-cache lookups served from cache."),
-		Misses: r.Counter("cache_misses_total", "Run-cache lookups that required a simulation (including corrupted entries)."),
-		Stores: r.Counter("cache_stores_total", "Results stored into the run cache."),
-		Bytes:  r.Counter("cache_stored_bytes_total", "Encoded bytes stored into the run cache."),
+		Hits:        r.Counter("cache_hits_total", "Run-cache lookups served from cache."),
+		Misses:      r.Counter("cache_misses_total", "Run-cache lookups that required a simulation (including corrupted entries)."),
+		Stores:      r.Counter("cache_stores_total", "Results stored into the run cache."),
+		Bytes:       r.Counter("cache_stored_bytes_total", "Encoded bytes stored into the run cache."),
+		DiskRetries: r.Counter("cache_disk_retries_total", "Disk cache operations retried after a transient I/O failure."),
+		DiskErrors:  r.Counter("cache_disk_errors_total", "Disk cache operations abandoned after exhausting retries."),
+	}
+}
+
+// ServingMetrics is the HTTP serving layer's bundle: admission-control
+// outcomes (admitted vs shed, with the shed reason split out), response
+// classes, live in-flight and queue-depth gauges, and the admission-wait
+// and end-to-end request latency histograms.
+type ServingMetrics struct {
+	// Admission outcomes.
+	Admitted        *Counter
+	ShedQueueFull   *Counter
+	ShedWaitTimeout *Counter
+
+	// Response classes (2xx / 4xx / 5xx, with client disconnects — the
+	// nginx-style 499 — counted separately from real server errors).
+	ResponsesOK          *Counter
+	ResponsesClientError *Counter
+	ResponsesServerError *Counter
+	ResponsesClientGone  *Counter
+
+	// Live serving state.
+	InFlight   *Gauge
+	QueueDepth *Gauge
+
+	// AdmissionWait is the time a request waited for an execution slot
+	// (admitted requests only). RequestSeconds is end-to-end handler
+	// latency including sheds.
+	AdmissionWait  *Histogram
+	RequestSeconds *Histogram
+}
+
+// NewServingMetrics registers (or reuses) the serving metric family on r.
+func NewServingMetrics(r *Registry) *ServingMetrics {
+	return &ServingMetrics{
+		Admitted:        r.Counter("serve_admitted_total", "Requests granted a simulation slot."),
+		ShedQueueFull:   r.Counter("serve_shed_queue_full_total", "Requests shed because the admission queue was full."),
+		ShedWaitTimeout: r.Counter("serve_shed_wait_timeout_total", "Requests shed after waiting the full queue-wait bound."),
+
+		ResponsesOK:          r.Counter("serve_responses_2xx_total", "Requests answered with a 2xx status."),
+		ResponsesClientError: r.Counter("serve_responses_4xx_total", "Requests answered with a 4xx status (including 429 sheds)."),
+		ResponsesServerError: r.Counter("serve_responses_5xx_total", "Requests answered with a 5xx status."),
+		ResponsesClientGone:  r.Counter("serve_responses_client_gone_total", "Requests abandoned by the client before completion (499)."),
+
+		InFlight:   r.Gauge("serve_inflight_runs", "Simulations currently holding an admission slot."),
+		QueueDepth: r.Gauge("serve_admission_queue_depth", "Requests waiting for an admission slot."),
+
+		AdmissionWait:  r.Histogram("serve_admission_wait_seconds", "Time admitted requests waited for a slot.", AdmissionWaitBuckets),
+		RequestSeconds: r.Histogram("serve_request_seconds", "End-to-end handler latency, sheds included.", RequestSecondsBuckets),
 	}
 }
 
