@@ -6,8 +6,14 @@
 // and regression-checkable.
 //
 //	loadgen -url http://localhost:8721 -duration 10s -concurrency 16
+//	loadgen -url http://h1:8721,http://h2:8721      # round-robin over a fleet
 //	loadgen -rps 200 -batch-frac 0.02 -json report.json
 //	loadgen -duration 5s -check        # CI gate: non-zero exit on bad responses
+//
+// -url accepts a comma-separated target list: requests round-robin across
+// the targets, so the generator can drive either a cluster coordinator or
+// the raw worker fleet behind it, and the report breaks request and shed
+// counts out per target.
 //
 // With -check, loadgen exits 1 if any response is neither 2xx nor 429, any
 // request fails at the transport layer, or every single request was shed
@@ -18,13 +24,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serving"
@@ -32,6 +41,7 @@ import (
 
 type sample struct {
 	endpoint string
+	target   int // index into the -url target list
 	status   int // 0 = transport error
 	latency  time.Duration
 	err      error
@@ -49,6 +59,16 @@ func latencySummary(samples []time.Duration) LatencyMs {
 	qs := serving.Quantiles(samples, 0.5, 0.95, 0.99, 1)
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return LatencyMs{P50: ms(qs[0]), P95: ms(qs[1]), P99: ms(qs[2]), Max: ms(qs[3])}
+}
+
+// TargetReport is one -url target's share of the traffic.
+type TargetReport struct {
+	URL      string  `json:"url"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok_2xx"`
+	Shed     int     `json:"shed_429"`
+	Errors   int     `json:"errors"` // non-429 4xx, 5xx and transport
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // Report is the JSON output of one loadgen run.
@@ -71,12 +91,14 @@ type Report struct {
 	OKLatency   LatencyMs `json:"ok_latency_ms"`
 	ShedLatency LatencyMs `json:"shed_latency_ms"`
 
+	Targets []TargetReport `json:"targets"`
+
 	CheckFailures []string `json:"check_failures,omitempty"`
 }
 
 func main() {
 	var (
-		url         = flag.String("url", "http://localhost:8721", "serve base URL")
+		url         = flag.String("url", "http://localhost:8721", "serve base URL, or a comma-separated list to round-robin across")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		concurrency = flag.Int("concurrency", 8, "worker connections (closed loop)")
 		rps         = flag.Float64("rps", 0, "target offered request rate (0 = as fast as the loop allows)")
@@ -94,6 +116,11 @@ func main() {
 
 	if *concurrency < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -concurrency must be >= 1")
+		os.Exit(2)
+	}
+	targets, err := parseTargets(*url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(2)
 	}
 	client := &http.Client{Timeout: *reqTimeout}
@@ -127,13 +154,18 @@ func main() {
 		}()
 	}
 
-	runURL := fmt.Sprintf("%s/run?bench=%s&policy=%s&insts=%d", *url, *benchName, *policy, *insts)
-	batchURL := *url + "/batch?kind=baseline"
+	runURLs := make([]string, len(targets))
+	batchURLs := make([]string, len(targets))
+	for i, t := range targets {
+		runURLs[i] = fmt.Sprintf("%s/run?bench=%s&policy=%s&insts=%d", t, *benchName, *policy, *insts)
+		batchURLs[i] = t + "/batch?kind=baseline"
+	}
 
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		samples []sample
+		next    atomic.Uint64 // round-robin cursor over targets
 	)
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
@@ -152,11 +184,12 @@ func main() {
 						break
 					}
 				}
-				target, endpoint := runURL, "/run"
+				ti := int((next.Add(1) - 1) % uint64(len(targets)))
+				target, endpoint := runURLs[ti], "/run"
 				if *batchFrac > 0 && rng.Float64() < *batchFrac {
-					target, endpoint = batchURL, "/batch"
+					target, endpoint = batchURLs[ti], "/batch"
 				}
-				local = append(local, fire(client, target, endpoint))
+				local = append(local, fire(client, target, ti, endpoint))
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -166,7 +199,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := build(samples, *url, elapsed, *concurrency, *rps, *batchFrac)
+	rep := build(samples, targets, elapsed, *concurrency, *rps, *batchFrac)
 	if *check {
 		rep.CheckFailures = checkReport(rep, *maxShedP99)
 	}
@@ -197,14 +230,31 @@ func main() {
 	}
 }
 
+// parseTargets splits the -url flag into base URLs (trailing slashes
+// trimmed so path joining works).
+func parseTargets(urls string) ([]string, error) {
+	var targets []string
+	for _, t := range strings.Split(urls, ",") {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t == "" {
+			return nil, errors.New("-url has an empty target")
+		}
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("-url names no targets")
+	}
+	return targets, nil
+}
+
 // fire issues one request and classifies the outcome. The request is
 // deliberately not bound to the load-window context: an in-flight request
 // at window end is allowed to finish (the closed loop drains naturally,
 // bounded by the client timeout).
-func fire(client *http.Client, target, endpoint string) sample {
+func fire(client *http.Client, target string, targetIdx int, endpoint string) sample {
 	start := time.Now()
 	resp, err := client.Get(target)
-	s := sample{endpoint: endpoint, latency: time.Since(start)}
+	s := sample{endpoint: endpoint, target: targetIdx, latency: time.Since(start)}
 	if err != nil {
 		s.err = err
 		return s
@@ -215,30 +265,59 @@ func fire(client *http.Client, target, endpoint string) sample {
 	return s
 }
 
-func build(samples []sample, url string, elapsed time.Duration, concurrency int, rps, batchFrac float64) Report {
+func build(samples []sample, targets []string, elapsed time.Duration, concurrency int, rps, batchFrac float64) Report {
 	rep := Report{
-		URL:         url,
+		URL:         strings.Join(targets, ","),
 		Duration:    elapsed.Seconds(),
 		Concurrency: concurrency,
 		TargetRPS:   rps,
 		BatchFrac:   batchFrac,
 		Requests:    len(samples),
+		Targets:     make([]TargetReport, len(targets)),
+	}
+	for i, t := range targets {
+		rep.Targets[i].URL = t
 	}
 	var okLat, shedLat []time.Duration
 	for _, s := range samples {
+		var tr *TargetReport
+		if s.target >= 0 && s.target < len(rep.Targets) {
+			tr = &rep.Targets[s.target]
+			tr.Requests++
+		}
 		switch {
 		case s.err != nil:
 			rep.NetErr++
+			if tr != nil {
+				tr.Errors++
+			}
 		case s.status >= 200 && s.status < 300:
 			rep.OK++
 			okLat = append(okLat, s.latency)
+			if tr != nil {
+				tr.OK++
+			}
 		case s.status == http.StatusTooManyRequests:
 			rep.Shed++
 			shedLat = append(shedLat, s.latency)
+			if tr != nil {
+				tr.Shed++
+			}
 		case s.status >= 500:
 			rep.ServerErr++
+			if tr != nil {
+				tr.Errors++
+			}
 		default:
 			rep.ClientErr++
+			if tr != nil {
+				tr.Errors++
+			}
+		}
+	}
+	for i := range rep.Targets {
+		if rep.Targets[i].Requests > 0 {
+			rep.Targets[i].ShedRate = float64(rep.Targets[i].Shed) / float64(rep.Targets[i].Requests)
 		}
 	}
 	if elapsed > 0 {
@@ -290,5 +369,11 @@ func printHuman(w io.Writer, rep Report) {
 	if rep.Shed > 0 {
 		fmt.Fprintf(w, "  shed latency ms: p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
 			rep.ShedLatency.P50, rep.ShedLatency.P95, rep.ShedLatency.P99, rep.ShedLatency.Max)
+	}
+	if len(rep.Targets) > 1 {
+		for _, t := range rep.Targets {
+			fmt.Fprintf(w, "  target %s: requests %d, 2xx %d, 429 %d (shed rate %.1f%%), errors %d\n",
+				t.URL, t.Requests, t.OK, t.Shed, 100*t.ShedRate, t.Errors)
+		}
 	}
 }

@@ -22,8 +22,30 @@ func mkSamples(ok, shed, clientErr, serverErr, netErr int) []sample {
 	return out
 }
 
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("http://a:1/, http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatalf("parseTargets: %v", err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("parseTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := parseTargets("http://a,,http://b"); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := parseTargets("   "); err == nil {
+		t.Error("blank -url accepted")
+	}
+}
+
 func TestBuildReportClassifiesAndRates(t *testing.T) {
-	rep := build(mkSamples(6, 3, 1, 2, 1), "http://x", 2*time.Second, 4, 100, 0.1)
+	rep := build(mkSamples(6, 3, 1, 2, 1), []string{"http://x"}, 2*time.Second, 4, 100, 0.1)
 	if rep.Requests != 13 || rep.OK != 6 || rep.Shed != 3 || rep.ClientErr != 1 || rep.ServerErr != 2 || rep.NetErr != 1 {
 		t.Fatalf("classification wrong: %+v", rep)
 	}
@@ -42,9 +64,38 @@ func TestBuildReportClassifiesAndRates(t *testing.T) {
 	}
 }
 
+func TestBuildReportPerTargetBreakdown(t *testing.T) {
+	// Two targets: target 0 gets 2 OK + 1 shed, target 1 gets 1 OK + 1 5xx.
+	samples := []sample{
+		{endpoint: "/run", target: 0, status: 200, latency: time.Millisecond},
+		{endpoint: "/run", target: 0, status: 200, latency: time.Millisecond},
+		{endpoint: "/run", target: 0, status: 429, latency: time.Millisecond},
+		{endpoint: "/run", target: 1, status: 200, latency: time.Millisecond},
+		{endpoint: "/run", target: 1, status: 500, latency: time.Millisecond},
+	}
+	rep := build(samples, []string{"http://a", "http://b"}, time.Second, 2, 0, 0)
+	if rep.URL != "http://a,http://b" {
+		t.Errorf("URL = %q, want joined target list", rep.URL)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("got %d target reports, want 2", len(rep.Targets))
+	}
+	a, b := rep.Targets[0], rep.Targets[1]
+	if a.URL != "http://a" || a.Requests != 3 || a.OK != 2 || a.Shed != 1 || a.Errors != 0 {
+		t.Errorf("target a report wrong: %+v", a)
+	}
+	wantRate := 1.0 / 3.0
+	if diff := a.ShedRate - wantRate; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("target a shed rate = %v, want %v", a.ShedRate, wantRate)
+	}
+	if b.URL != "http://b" || b.Requests != 2 || b.OK != 1 || b.Shed != 0 || b.Errors != 1 || b.ShedRate != 0 {
+		t.Errorf("target b report wrong: %+v", b)
+	}
+}
+
 func TestCheckReportGates(t *testing.T) {
 	// Healthy overload: plenty shed but some admitted, no errors → pass.
-	healthy := build(mkSamples(5, 95, 0, 0, 0), "u", time.Second, 8, 0, 0)
+	healthy := build(mkSamples(5, 95, 0, 0, 0), []string{"u"}, time.Second, 8, 0, 0)
 	if fails := checkReport(healthy, 0); len(fails) != 0 {
 		t.Errorf("healthy overload flagged: %v", fails)
 	}
@@ -62,11 +113,11 @@ func TestCheckReportGates(t *testing.T) {
 		rep  Report
 		want string
 	}{
-		{"no requests", build(nil, "u", time.Second, 1, 0, 0), "no requests"},
-		{"transport errors", build(mkSamples(1, 0, 0, 0, 2), "u", time.Second, 1, 0, 0), "transport"},
-		{"bad 4xx", build(mkSamples(1, 0, 1, 0, 0), "u", time.Second, 1, 0, 0), "4xx"},
-		{"5xx", build(mkSamples(1, 0, 0, 1, 0), "u", time.Second, 1, 0, 0), "5xx"},
-		{"total shed", build(mkSamples(0, 10, 0, 0, 0), "u", time.Second, 1, 0, 0), "100%"},
+		{"no requests", build(nil, []string{"u"}, time.Second, 1, 0, 0), "no requests"},
+		{"transport errors", build(mkSamples(1, 0, 0, 0, 2), []string{"u"}, time.Second, 1, 0, 0), "transport"},
+		{"bad 4xx", build(mkSamples(1, 0, 1, 0, 0), []string{"u"}, time.Second, 1, 0, 0), "4xx"},
+		{"5xx", build(mkSamples(1, 0, 0, 1, 0), []string{"u"}, time.Second, 1, 0, 0), "5xx"},
+		{"total shed", build(mkSamples(0, 10, 0, 0, 0), []string{"u"}, time.Second, 1, 0, 0), "100%"},
 	}
 	for _, c := range cases {
 		fails := checkReport(c.rep, 0)

@@ -15,6 +15,16 @@
 //	curl localhost:8721/batches                      # batch status
 //	curl localhost:8721/metrics                      # Prometheus text
 //
+// With -coordinator the process serves the same API backed by a fleet of
+// workers instead of a local simulator (internal/cluster): runs are
+// routed by cache affinity (rendezvous hashing on the run's content
+// hash), failed workers are probed, marked down and their outstanding
+// runs requeued onto survivors, and /batch merges fleet results
+// deterministically in run-index order.
+//
+//	serve -coordinator -workers http://h1:8721,http://h2:8721 -addr :8720
+//	serve -coordinator -workers ... -hedge-after 2s  # hedge stragglers
+//
 // Overload semantics: when all -max-inflight slots are busy and the queue
 // is full (or a queued request waits longer than -queue-wait), /run
 // returns 429 with a Retry-After hint in well under 10ms. Accepted
@@ -40,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/serving"
@@ -82,6 +93,7 @@ type server struct {
 	drain *serving.Drainer
 	ids   *serving.RequestIDs
 	logf  func(format string, args ...any)
+	start time.Time
 
 	mu           sync.Mutex
 	batches      map[int]*batchState
@@ -108,6 +120,7 @@ func newServer(parent context.Context, cfg serverConfig, logf func(format string
 		drain:   serving.NewDrainer(parent),
 		ids:     serving.NewRequestIDs(),
 		logf:    logf,
+		start:   time.Now(),
 		batches: map[int]*batchState{},
 	}
 	if cfg.cacheDir != "" {
@@ -137,7 +150,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8721", "HTTP listen address")
 		insts        = flag.Uint64("insts", 1_000_000, "committed instructions per run")
-		workers      = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+		workers      = flag.String("workers", "", "worker mode: parallel simulations per batch (a number; empty or 0 = GOMAXPROCS). coordinator mode: comma-separated worker base URLs")
 		maxBatches   = flag.Int("max-batches", 2, "concurrent /batch jobs admitted; overflow sheds with 429")
 		cacheDir     = flag.String("cache-dir", "", "persist /run results under this directory and replay identical requests (hit/miss counters on /metrics)")
 		maxInFlight  = flag.Int("max-inflight", 0, "concurrent /run simulations admitted (0 = GOMAXPROCS)")
@@ -148,15 +161,52 @@ func main() {
 		chaosProb    = flag.Float64("chaos", 0, "fault-injection probability: disk-cache failures and slow-sim delays (0 = off)")
 		chaosDelay   = flag.Duration("chaos-delay", 250*time.Millisecond, "injected slow-sim stall when -chaos fires")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "chaos RNG seed (runs are reproducible per seed)")
+
+		coordinator    = flag.Bool("coordinator", false, "serve the same API backed by a worker fleet instead of a local simulator")
+		probeEvery     = flag.Duration("probe-every", time.Second, "coordinator: worker health-probe period")
+		probeFails     = flag.Int("probe-fails", 2, "coordinator: consecutive failures before a worker is marked down")
+		clusterRetries = flag.Int("cluster-retries", 3, "coordinator: re-dispatches after a failed attempt")
+		retryBackoff   = flag.Duration("retry-backoff", 25*time.Millisecond, "coordinator: base retry backoff (exponential, jittered)")
+		hedgeAfter     = flag.Duration("hedge-after", 0, "coordinator: hedge a straggling run on a second worker after this delay (0 = off)")
+		workerInflight = flag.Int("worker-inflight", 4, "coordinator: concurrent dispatches per worker")
+		dispatchTO     = flag.Duration("dispatch-timeout", 120*time.Second, "coordinator: per-attempt worker round-trip bound (keep above the workers' -run-timeout)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *coordinator {
+		runCoordinator(ctx, *addr, cluster.Config{
+			Workers: strings.Split(*workers, ","),
+			Insts:   *insts,
+			Pool: cluster.PoolConfig{
+				ProbeEvery:    *probeEvery,
+				MarkDownAfter: *probeFails,
+			},
+			Dispatch: cluster.DispatchConfig{
+				Retries:        *clusterRetries,
+				RetryBase:      *retryBackoff,
+				HedgeAfter:     *hedgeAfter,
+				WorkerInFlight: *workerInflight,
+				Timeout:        *dispatchTO,
+			},
+		}, *drainTimeout)
+		return
+	}
+
+	nWorkers := 0
+	if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "serve: -workers must be a non-negative integer in worker mode (got %q)\n", *workers)
+			os.Exit(2)
+		}
+		nWorkers = n
+	}
 	cfg := serverConfig{
 		insts:        *insts,
-		workers:      *workers,
+		workers:      nWorkers,
 		maxBatches:   *maxBatches,
 		runTimeout:   *runTimeout,
 		drainTimeout: *drainTimeout,
@@ -205,14 +255,60 @@ func main() {
 	}
 }
 
-// handleHealthz reports 200 while serving and 503 once draining, so load
-// balancers stop routing during shutdown.
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.drain.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+// runCoordinator boots the cluster coordinator: the same HTTP surface,
+// served by internal/cluster over the worker fleet. SIGINT stops the
+// prober (via ctx) and drains in-flight proxied requests.
+func runCoordinator(ctx context.Context, addr string, cfg cluster.Config, drainTimeout time.Duration) {
+	logf := log.New(os.Stderr, "serve: ", log.LstdFlags).Printf
+	cs, mux, err := cluster.NewServer(ctx, cfg, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Fprintln(w, "ok")
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	dc := cs.Dispatcher().Config()
+	logf("coordinating %d workers on %s (retries %d, hedge-after %s, worker-inflight %d)",
+		len(cs.Pool().Workers()), addr, dc.Retries, dc.HedgeAfter, dc.WorkerInFlight)
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			logf("http shutdown: %v", err)
+			os.Exit(1)
+		}
+		logf("drained, shut down")
+	case err := <-errc:
+		logf("%v", err)
+		os.Exit(1)
+	}
+}
+
+// handleHealthz answers a JSON readiness body: remaining admission
+// capacity, cache presence and uptime, so the cluster prober and
+// operators can see how loaded a worker is, not just that it is alive.
+// Status-code semantics are unchanged for old plain probes: 200 while
+// serving, 503 once draining (load balancers stop routing on shutdown).
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	adm := s.adm.Config()
+	h := serving.Health{
+		Status:        "ok",
+		InFlight:      s.adm.InFlight(),
+		QueueDepth:    s.adm.Queued(),
+		MaxInFlight:   adm.MaxInFlight,
+		MaxQueue:      adm.MaxQueue,
+		CacheDir:      s.cache != nil,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	status := http.StatusOK
+	if s.drain.Draining() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, "", status, h)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -57,6 +57,42 @@ func getJSON(t *testing.T, url string, into any) *http.Response {
 	return resp
 }
 
+func TestHealthzReadinessBody(t *testing.T) {
+	_, ts := testServer(t, serverConfig{cacheDir: t.TempDir()})
+	var h serving.Health
+	r := getJSON(t, ts.URL+"/healthz", &h)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", r.StatusCode)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.MaxInFlight != 4 || h.InFlight != 0 {
+		t.Errorf("capacity view = %+v, want max_inflight 4, inflight 0", h)
+	}
+	if !h.CacheDir {
+		t.Error("cache_dir = false with a cache configured")
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", h.UptimeSeconds)
+	}
+}
+
+func TestHealthzDrainingBody(t *testing.T) {
+	s, ts := testServer(t, serverConfig{})
+	if !s.drain.Shutdown(time.Second) {
+		t.Fatal("drain timed out")
+	}
+	var h serving.Health
+	r := getJSON(t, ts.URL+"/healthz", &h)
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", r.StatusCode)
+	}
+	if h.Status != "draining" {
+		t.Errorf("status = %q, want draining", h.Status)
+	}
+}
+
 func TestRunBadParams(t *testing.T) {
 	_, ts := testServer(t, serverConfig{})
 	for _, q := range []string{

@@ -1,0 +1,451 @@
+package cluster
+
+// In-process fleet tests: real HTTP workers (httptest) running the real
+// simulator behind a real coordinator, so affinity, failover and hedging
+// are exercised end to end — including killing a worker mid-batch by
+// dropping its connections (panic(http.ErrAbortHandler) behaves like a
+// SIGKILL from the coordinator's point of view).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// fleetWorker is a minimal but faithful stand-in for one cmd/serve
+// process: it answers /healthz and /run (with the same JSON summary keys,
+// including the volatile request_id/cached fields the coordinator must
+// strip), optionally backed by the same content-addressed run cache.
+type fleetWorker struct {
+	srv   *httptest.Server
+	cache *runner.Cache[*sim.Result]
+
+	dead      atomic.Bool  // drop every connection (SIGKILL emulation)
+	killAfter atomic.Int64 // > 0: die permanently after serving this many runs
+	served    atomic.Int64
+	delayMs   atomic.Int64 // straggler emulation for hedging tests
+}
+
+func newFleetWorker(t *testing.T, withCache bool) *fleetWorker {
+	t.Helper()
+	fw := &fleetWorker{}
+	if withCache {
+		c, err := runner.NewCache[*sim.Result](t.TempDir(), nil)
+		if err != nil {
+			t.Fatalf("worker cache: %v", err)
+		}
+		fw.cache = c
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if fw.dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/run", fw.handleRun)
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func (fw *fleetWorker) handleRun(w http.ResponseWriter, r *http.Request) {
+	if fw.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	n := fw.served.Add(1)
+	if ka := fw.killAfter.Load(); ka > 0 && n > ka {
+		fw.dead.Store(true)
+		panic(http.ErrAbortHandler)
+	}
+	if d := fw.delayMs.Load(); d > 0 {
+		select {
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		case <-time.After(time.Duration(d) * time.Millisecond):
+		}
+	}
+
+	q := r.URL.Query()
+	insts, err := strconv.ParseUint(q.Get("insts"), 10, 64)
+	if err != nil || insts == 0 {
+		http.Error(w, "bad insts", http.StatusBadRequest)
+		return
+	}
+	prof, err := bench.ByName(q.Get("bench"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := sim.Config{Workload: prof, MaxInsts: insts}
+	if err := bench.ApplyPolicy(&cfg, q.Get("policy"), 0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, _ := sim.CacheKey(cfg)
+
+	var res *sim.Result
+	cached := false
+	if fw.cache != nil {
+		if hit, ok := fw.cache.Get(key); ok {
+			res, cached = hit, true
+		}
+	}
+	if res == nil {
+		res, err = sim.RunContext(r.Context(), cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fw.cache.Put(key, res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		// Volatile per-request fields, deliberately different on every
+		// response: the coordinator's merge must not let them through.
+		"request_id": fmt.Sprintf("%s-%06d", fw.srv.URL, n),
+		"cached":     cached,
+		"benchmark":  res.Benchmark,
+		"policy":     res.Policy,
+		"ipc":        res.IPC,
+		"cycles":     res.Cycles,
+		"insts":      res.Insts,
+		"avg_power":  res.AvgChipPower,
+		"avg_duty":   res.AvgDuty,
+		"emerg_frac": res.EmergencyFrac(),
+	})
+}
+
+func newFleet(t *testing.T, n int, withCache bool) ([]*fleetWorker, []string) {
+	t.Helper()
+	workers := make([]*fleetWorker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		workers[i] = newFleetWorker(t, withCache)
+		urls[i] = workers[i].srv.URL
+	}
+	return workers, urls
+}
+
+// newCoordinator stands up a coordinator over urls with test-friendly
+// timings: no background prober (tests drive ProbeAll), mark-down after a
+// single failure, millisecond backoff.
+func newCoordinator(t *testing.T, urls []string, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Workers: urls,
+		Insts:   20_000,
+		Pool:    PoolConfig{ProbeEvery: -1, MarkDownAfter: 1},
+		Dispatch: DispatchConfig{
+			Retries:   4,
+			RetryBase: time.Millisecond,
+			RetryMax:  5 * time.Millisecond,
+			Timeout:   30 * time.Second,
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s, mux, err := NewServer(ctx, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(mux)
+	t.Cleanup(func() { hs.Close(); cancel() })
+	return s, hs
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// specKey reproduces the coordinator's routing key for one run, so tests
+// can find which worker owns it.
+func specKey(t *testing.T, benchName, policy string, insts uint64) string {
+	t.Helper()
+	spec, err := makeSpec(benchName, policy, insts)
+	if err != nil {
+		t.Fatalf("makeSpec(%s,%s): %v", benchName, policy, err)
+	}
+	return spec.key
+}
+
+func TestClusterRunProxiesWithStickyWorker(t *testing.T) {
+	_, urls := newFleet(t, 3, true)
+	_, hs := newCoordinator(t, urls, nil)
+
+	var first string
+	for i := 0; i < 5; i++ {
+		status, hdr, body := get(t, hs.URL+"/run?bench=gcc&policy=PI&insts=10000")
+		if status != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, status, body)
+		}
+		wkr := hdr.Get("X-Cluster-Worker")
+		if wkr == "" {
+			t.Fatalf("run %d: no X-Cluster-Worker header", i)
+		}
+		if first == "" {
+			first = wkr
+		} else if wkr != first {
+			t.Errorf("run %d landed on %s, first on %s: affinity broken", i, wkr, first)
+		}
+		var sum struct {
+			IPC    float64 `json:"ipc"`
+			Cycles uint64  `json:"cycles"`
+		}
+		if err := json.Unmarshal(body, &sum); err != nil || sum.IPC <= 0 || sum.Cycles == 0 {
+			t.Fatalf("run %d: bad body (err %v): %s", i, err, body)
+		}
+	}
+}
+
+func TestClusterBatchAffinityHitRatio(t *testing.T) {
+	_, urls := newFleet(t, 3, true)
+	s, hs := newCoordinator(t, urls, nil)
+
+	const q = "/batch?benches=gcc,vortex,art,mesa&policies=PI,PID&insts=10000"
+	var firstBody []byte
+	for round := 0; round < 2; round++ {
+		status, _, body := get(t, hs.URL+q)
+		if status != http.StatusOK {
+			t.Fatalf("batch round %d: status %d: %s", round, status, body)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatalf("batch round %d: %v", round, err)
+		}
+		if br.Failed != 0 || len(br.Runs) != 8 {
+			t.Fatalf("batch round %d: failed=%d runs=%d, want 0/8", round, br.Failed, len(br.Runs))
+		}
+		if round == 0 {
+			firstBody = body
+		} else if !bytes.Equal(firstBody, body) {
+			t.Error("repeated batch bodies differ: merge is not deterministic")
+		}
+	}
+
+	hits, misses := s.Metrics().AffinityHits.Value(), s.Metrics().AffinityMisses.Value()
+	if hits+misses == 0 {
+		t.Fatal("no dispatches counted")
+	}
+	if ratio := float64(hits) / float64(hits+misses); ratio < 0.9 {
+		t.Errorf("affinity hit ratio %.2f (hits %d, misses %d), want >= 0.9", ratio, hits, misses)
+	}
+}
+
+func TestClusterWorkerKilledMidBatchIsRequeued(t *testing.T) {
+	benches := []string{"gcc", "vortex", "art"}
+	policies := []string{"PI", "PID"}
+	const insts = 10_000
+	const q = "/batch?benches=gcc,vortex,art&policies=PI,PID&insts=10000"
+
+	// Reference: the same batch computed by a single-worker cluster.
+	_, refURLs := newFleet(t, 1, false)
+	_, refHS := newCoordinator(t, refURLs, nil)
+	refStatus, _, refBody := get(t, refHS.URL+q)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference batch: status %d: %s", refStatus, refBody)
+	}
+
+	// Fleet of three; find the worker that owns the most of the batch's
+	// keys (pigeonhole: at least one owns >= 2) and arrange for it to die
+	// after serving its first run — mid-batch, from the coordinator's
+	// point of view.
+	workers, urls := newFleet(t, 3, false)
+	s, hs := newCoordinator(t, urls, nil)
+	byURL := map[string]*fleetWorker{}
+	for i, w := range workers {
+		byURL[urls[i]] = w
+	}
+	owned := map[string]int{}
+	for _, b := range benches {
+		for _, p := range policies {
+			owned[s.Pool().Owner(specKey(t, b, p, insts)).URL]++
+		}
+	}
+	victimURL, max := "", 0
+	for u, n := range owned {
+		if n > max {
+			victimURL, max = u, n
+		}
+	}
+	if max < 2 {
+		t.Fatalf("owner counts %v: no worker owns 2 keys", owned)
+	}
+	byURL[victimURL].killAfter.Store(1)
+
+	status, _, body := get(t, hs.URL+q)
+	if status != http.StatusOK {
+		t.Fatalf("batch with kill: status %d: %s", status, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch with kill: %v", err)
+	}
+	if br.Failed != 0 || len(br.Errors) != 0 {
+		t.Fatalf("batch with kill: failed=%d errors=%v, want none", br.Failed, br.Errors)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Errorf("merged batch differs from single-worker reference:\n fleet: %s\n ref:   %s", body, refBody)
+	}
+	if got := s.Metrics().Requeued.Value(); got < 1 {
+		t.Errorf("cluster_requeued_total = %d, want >= 1", got)
+	}
+	// The victim's in-flight success can race its fatal failure, flapping
+	// it briefly back up; one probe round settles the corpse down.
+	s.Pool().ProbeAll(context.Background())
+	for _, w := range s.Pool().Workers() {
+		if w.URL == victimURL && w.Up() {
+			t.Error("killed worker still marked up after a probe round")
+		}
+	}
+}
+
+func TestClusterHedgeWinsWithoutDoubleCounting(t *testing.T) {
+	workers, urls := newFleet(t, 2, false)
+	s, _ := newCoordinator(t, urls, func(c *Config) {
+		c.Dispatch.Retries = 0
+		c.Dispatch.HedgeAfter = 50 * time.Millisecond
+	})
+
+	// Make the key's rendezvous owner a straggler, so the hedge fires and
+	// the other worker answers first.
+	key := specKey(t, "gcc", "PI", 10_000)
+	owner := s.Pool().Owner(key)
+	for i, u := range urls {
+		if u == owner.URL {
+			workers[i].delayMs.Store(2000)
+		}
+	}
+
+	resp, err := s.Dispatcher().Do(context.Background(), key, "/run?bench=gcc&policy=PI&insts=10000")
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.Status, resp.Body)
+	}
+	if !resp.Hedged || resp.Worker == owner {
+		t.Errorf("winner hedged=%v worker=%s, want hedge win on non-owner", resp.Hedged, resp.Worker.URL)
+	}
+	var sum struct {
+		IPC float64 `json:"ipc"`
+	}
+	if err := json.Unmarshal(resp.Body, &sum); err != nil || sum.IPC <= 0 {
+		t.Fatalf("bad winning body (err %v): %s", err, resp.Body)
+	}
+
+	m := s.Metrics()
+	if m.Dispatched.Value() != 1 {
+		t.Errorf("cluster_dispatched_total = %d, want 1 (hedge must not double-count the run)", m.Dispatched.Value())
+	}
+	if m.Hedges.Value() != 1 || m.HedgeWins.Value() != 1 {
+		t.Errorf("hedges=%d wins=%d, want 1/1", m.Hedges.Value(), m.HedgeWins.Value())
+	}
+	// The cancelled straggler must not be marked down: it was our
+	// cancellation, not its failure.
+	if s.Pool().Healthy() != 2 {
+		t.Errorf("healthy workers = %d after hedge, want 2", s.Pool().Healthy())
+	}
+}
+
+func TestClusterHealthzAndMetricsSurface(t *testing.T) {
+	workers, urls := newFleet(t, 2, false)
+	s, hs := newCoordinator(t, urls, nil)
+
+	status, _, body := get(t, hs.URL+"/run?bench=gcc&policy=PI&insts=10000")
+	if status != http.StatusOK {
+		t.Fatalf("run: status %d: %s", status, body)
+	}
+
+	status, _, body = get(t, hs.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, family := range []string{
+		"cluster_dispatched_total", "cluster_workers_up", "cluster_affinity_hits_total",
+		"cluster_dispatch_seconds", "cluster_worker_0_dispatched_total", "cluster_worker_1_up",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+
+	status, _, body = get(t, hs.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", status, body)
+	}
+	var h ClusterHealth
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if h.Status != "ok" || h.HealthyWorkers != 2 || h.TotalWorkers != 2 || len(h.Workers) != 2 {
+		t.Fatalf("healthz = %+v, want 2/2 ok", h)
+	}
+
+	// Kill the whole fleet: the prober marks both down, /healthz flips to
+	// 503; revive them and the next probe round marks them back up.
+	ctx := context.Background()
+	for _, w := range workers {
+		w.dead.Store(true)
+	}
+	s.Pool().ProbeAll(ctx)
+	status, _, body = get(t, hs.URL+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-down healthz: status %d: %s", status, body)
+	}
+	if s.Metrics().WorkersUp.Value() != 0 {
+		t.Errorf("cluster_workers_up = %v, want 0", s.Metrics().WorkersUp.Value())
+	}
+	for _, w := range workers {
+		w.dead.Store(false)
+	}
+	s.Pool().ProbeAll(ctx)
+	status, _, _ = get(t, hs.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("revived healthz: status %d", status)
+	}
+	if s.Metrics().WorkersUp.Value() != 2 {
+		t.Errorf("cluster_workers_up = %v after revival, want 2", s.Metrics().WorkersUp.Value())
+	}
+}
+
+func TestClusterRunBadParams(t *testing.T) {
+	_, urls := newFleet(t, 1, false)
+	_, hs := newCoordinator(t, urls, nil)
+	for _, q := range []string{
+		"/run?bench=nope&policy=PI&insts=1000",
+		"/run?bench=gcc&policy=nope&insts=1000",
+		"/run?bench=gcc&policy=PI&insts=zero",
+		"/batch?benches=gcc,bogus&policies=PI&insts=1000",
+	} {
+		if status, _, body := get(t, hs.URL+q); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", q, status, body)
+		}
+	}
+}

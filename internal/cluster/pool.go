@@ -1,0 +1,240 @@
+// Package cluster is the scale-out tier over cmd/serve: a coordinator
+// that fans /run and /batch traffic across a fleet of serve workers. The
+// pieces compose the serving substrate the earlier layers built:
+//
+//   - Pool (pool.go): the worker fleet, with periodic /healthz probing,
+//     per-worker inflight accounting, and mark-down after consecutive
+//     probe or request failures (mark-up on the next success).
+//   - Routing (route.go): rendezvous (highest-random-weight) hashing on
+//     sim.CacheKey, so identical runs land on the worker whose disk run
+//     cache already holds them; a downed owner falls back to the
+//     least-loaded healthy worker. The routing decision is
+//     allocation-free.
+//   - Dispatcher (dispatch.go): bounded retries with exponential backoff
+//     and jitter on transport/5xx/429 failures, requeue of a downed
+//     worker's outstanding runs onto survivors, and optional hedged
+//     requests for stragglers (first response wins, loser cancelled).
+//   - Server (server.go): the coordinator HTTP facade, exposing the same
+//     /run, /batch, /metrics and /healthz surface as one cmd/serve
+//     process, so cmd/loadgen and other callers are unchanged. Batch
+//     results are merged deterministically in run-index order.
+//
+// Everything is testable in-process: workers are plain HTTP servers, so
+// httptest can stand up a fleet, kill members mid-batch, and assert the
+// coordinator's failover behavior without real processes.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// PoolConfig tunes health probing.
+type PoolConfig struct {
+	// ProbeEvery is the background health-probe period; 0 means 1s, < 0
+	// disables the background prober entirely (tests drive ProbeAll).
+	ProbeEvery time.Duration
+	// MarkDownAfter is the number of consecutive probe/request failures
+	// that marks a worker down; <= 0 means 2.
+	MarkDownAfter int
+	// ProbeTimeout bounds one /healthz round trip; <= 0 means 2s.
+	ProbeTimeout time.Duration
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = time.Second
+	}
+	if c.MarkDownAfter <= 0 {
+		c.MarkDownAfter = 2
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Worker is one fleet member. Its fields are updated concurrently by the
+// prober, the dispatcher and request completions; everything is atomic.
+type Worker struct {
+	// Index is the worker's position in the pool (and in the
+	// ClusterMetrics per-worker bundles).
+	Index int
+	// URL is the worker's base URL, also its rendezvous-hash identity: the
+	// routing of a key moves only when the fleet membership changes, not
+	// when a worker restarts.
+	URL string
+
+	inflight atomic.Int64
+	down     atomic.Bool
+	fails    atomic.Int32 // consecutive failures since the last success
+
+	metrics *telemetry.ClusterWorkerMetrics // nil = uninstrumented
+}
+
+// Up reports whether the worker is currently considered healthy.
+func (w *Worker) Up() bool { return !w.down.Load() }
+
+// InFlight returns the number of dispatches outstanding on this worker.
+func (w *Worker) InFlight() int64 { return w.inflight.Load() }
+
+// Fails returns the current consecutive-failure count.
+func (w *Worker) Fails() int { return int(w.fails.Load()) }
+
+// Pool is the worker fleet plus its health prober. All methods are safe
+// for concurrent use.
+type Pool struct {
+	cfg     PoolConfig
+	workers []*Worker
+	client  *http.Client
+	metrics *telemetry.ClusterMetrics // nil = uninstrumented
+	logf    func(format string, args ...any)
+}
+
+// NewPool builds a fleet from worker base URLs (trailing slashes are
+// trimmed; they would change the rendezvous identity and break URL
+// joining). metrics and logf may be nil. Workers start healthy, so
+// traffic flows before the first probe round completes.
+func NewPool(urls []string, cfg PoolConfig, metrics *telemetry.ClusterMetrics, logf func(format string, args ...any)) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.ProbeTimeout},
+		metrics: metrics,
+		logf:    logf,
+	}
+	seen := make(map[string]bool, len(urls))
+	for i, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL at position %d", i)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %s", u)
+		}
+		seen[u] = true
+		w := &Worker{Index: len(p.workers), URL: u}
+		if metrics != nil && w.Index < len(metrics.Workers) {
+			w.metrics = metrics.Workers[w.Index]
+			w.metrics.Up.Set(1)
+		}
+		p.workers = append(p.workers, w)
+	}
+	if metrics != nil {
+		metrics.WorkersUp.Set(float64(len(p.workers)))
+	}
+	return p, nil
+}
+
+// Workers returns the fleet in index order. The slice is shared: do not
+// mutate it.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// Healthy returns the number of workers currently marked up.
+func (p *Pool) Healthy() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the background health prober; it stops when ctx is
+// cancelled. A negative ProbeEvery disables it (tests call ProbeAll).
+func (p *Pool) Start(ctx context.Context) {
+	if p.cfg.ProbeEvery < 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(p.cfg.ProbeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeAll runs one synchronous health-probe round over the whole fleet.
+func (p *Pool) ProbeAll(ctx context.Context) {
+	for _, w := range p.workers {
+		p.probe(ctx, w)
+	}
+}
+
+// probe issues one /healthz round trip and feeds the outcome into the
+// same mark-down/mark-up accounting as real dispatches.
+func (p *Pool) probe(ctx context.Context, w *Worker) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/healthz", nil)
+	if err != nil {
+		p.ReportFailure(w)
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.ReportFailure(w)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		p.ReportSuccess(w)
+	} else {
+		p.ReportFailure(w)
+	}
+}
+
+// ReportFailure records one probe or dispatch failure against w, marking
+// it down once MarkDownAfter consecutive failures accumulate. Request
+// failures feed the same counter as probes so a dying worker is marked
+// down at traffic speed, not probe speed.
+func (p *Pool) ReportFailure(w *Worker) {
+	if int(w.fails.Add(1)) < p.cfg.MarkDownAfter {
+		return
+	}
+	if w.down.CompareAndSwap(false, true) {
+		p.logf("worker %s marked down after %d consecutive failures", w.URL, w.Fails())
+		if w.metrics != nil {
+			w.metrics.Up.Set(0)
+		}
+		p.updateUpGauge()
+	}
+}
+
+// ReportSuccess records a successful probe or dispatch, clearing the
+// failure streak and marking the worker back up if it was down.
+func (p *Pool) ReportSuccess(w *Worker) {
+	w.fails.Store(0)
+	if w.down.CompareAndSwap(true, false) {
+		p.logf("worker %s marked up", w.URL)
+		if w.metrics != nil {
+			w.metrics.Up.Set(1)
+		}
+		p.updateUpGauge()
+	}
+}
+
+func (p *Pool) updateUpGauge() {
+	if p.metrics != nil {
+		p.metrics.WorkersUp.Set(float64(p.Healthy()))
+	}
+}

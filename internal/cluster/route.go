@@ -1,0 +1,86 @@
+package cluster
+
+// Cache-affinity routing: rendezvous (highest-random-weight) hashing of
+// run cache keys over the fleet. Every worker scores hash(workerURL, key)
+// and the healthy worker with the highest score wins, so:
+//
+//   - identical runs always land on the same worker, whose disk run cache
+//     (cmd/serve -cache-dir) already holds the result;
+//   - a worker joining or leaving only moves the keys it owns (1/N of the
+//     space), never a full reshuffle;
+//   - when the owner is down, the run falls back to the least-loaded
+//     healthy worker and the batch still completes.
+//
+// Route is on the per-run dispatch path and must not allocate: the FNV-1a
+// mix is inlined over the two strings (no concatenation), and the scan is
+// over the pool's fixed worker slice.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hrwScore mixes the worker identity and the run key into one FNV-1a
+// hash. A separator byte keeps ("ab","c") and ("a","bc") distinct.
+func hrwScore(worker, key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(worker); i++ {
+		h ^= uint64(worker[i])
+		h *= fnvPrime64
+	}
+	h ^= '|'
+	h *= fnvPrime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Owner returns the rendezvous owner of key over the whole fleet,
+// ignoring health: the worker whose cache an identical prior run warmed.
+// Ties (vanishingly unlikely with 64-bit scores) break toward the lower
+// index so routing stays deterministic.
+func (p *Pool) Owner(key string) *Worker {
+	var owner *Worker
+	var best uint64
+	for _, w := range p.workers {
+		if s := hrwScore(w.URL, key); owner == nil || s > best {
+			owner, best = w, s
+		}
+	}
+	return owner
+}
+
+// Route picks the dispatch target for key: the rendezvous owner when it
+// is healthy, otherwise the least-loaded healthy worker. skip (may be
+// nil) is excluded — retries pass the worker that just failed so the
+// requeue lands elsewhere even before the prober marks it down. When skip
+// is the only healthy worker it is returned anyway (retrying the sole
+// survivor beats failing outright); nil means no worker is usable. The
+// affinity result reports whether the choice is the cache owner.
+func (p *Pool) Route(key string, skip *Worker) (w *Worker, affinity bool) {
+	owner := p.Owner(key)
+	if owner == nil {
+		return nil, false
+	}
+	if owner.Up() && owner != skip {
+		return owner, true
+	}
+	var least *Worker
+	for _, c := range p.workers {
+		if c == skip || !c.Up() {
+			continue
+		}
+		if least == nil || c.inflight.Load() < least.inflight.Load() {
+			least = c
+		}
+	}
+	if least != nil {
+		return least, least == owner
+	}
+	if skip != nil && skip.Up() {
+		return skip, skip == owner
+	}
+	return nil, false
+}

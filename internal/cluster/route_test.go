@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustPool(t *testing.T, urls []string) *Pool {
+	t.Helper()
+	p, err := NewPool(urls, PoolConfig{ProbeEvery: -1}, nil, nil)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+// Two pools built from the same URL list must route every key
+// identically: the rendezvous choice is a pure function of (fleet, key),
+// so separate coordinators — or one coordinator across restarts — agree
+// without coordination.
+func TestRouteDeterministicAcrossPools(t *testing.T) {
+	urls := []string{"http://w0:8721", "http://w1:8721", "http://w2:8721", "http://w3:8721"}
+	a, b := mustPool(t, urls), mustPool(t, urls)
+	for _, key := range testKeys(1000) {
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa.URL != ob.URL {
+			t.Fatalf("key %s: pool a owner %s, pool b owner %s", key, oa.URL, ob.URL)
+		}
+		w, affinity := a.Route(key, nil)
+		if w != oa || !affinity {
+			t.Fatalf("key %s: healthy Route = (%v, %v), want owner with affinity", key, w.URL, affinity)
+		}
+	}
+}
+
+// The rendezvous hash must spread keys roughly uniformly: a chi-squared
+// statistic over the owner counts far above the df=4 critical value would
+// mean some worker's cache takes a disproportionate share of the space.
+func TestRouteBalanced(t *testing.T) {
+	urls := []string{
+		"http://w0:8721", "http://w1:8721", "http://w2:8721",
+		"http://w3:8721", "http://w4:8721",
+	}
+	p := mustPool(t, urls)
+	counts := map[string]int{}
+	keys := testKeys(2000)
+	for _, key := range keys {
+		counts[p.Owner(key).URL]++
+	}
+	expected := float64(len(keys)) / float64(len(urls))
+	chi2 := 0.0
+	for _, u := range urls {
+		d := float64(counts[u]) - expected
+		chi2 += d * d / expected
+		if counts[u] == 0 {
+			t.Errorf("worker %s owns no keys", u)
+		}
+	}
+	// df=4 critical value at p=0.001 is 18.5; 40 allows for FNV not being
+	// a cryptographic hash while still catching gross skew.
+	if chi2 > 40 {
+		t.Errorf("owner distribution chi-squared = %.1f (counts %v), want < 40", chi2, counts)
+	}
+}
+
+func TestRouteFallbackAndSkip(t *testing.T) {
+	p := mustPool(t, []string{"http://w0:8721", "http://w1:8721", "http://w2:8721"})
+	key := "sha256:deadbeef"
+	owner := p.Owner(key)
+
+	// Healthy owner wins even when loaded.
+	owner.inflight.Store(100)
+	if w, affinity := p.Route(key, nil); w != owner || !affinity {
+		t.Fatalf("healthy owner not chosen: got %s affinity=%v", w.URL, affinity)
+	}
+	owner.inflight.Store(0)
+
+	// Downed owner: fall back to the least-loaded healthy worker.
+	var others []*Worker
+	for _, w := range p.Workers() {
+		if w != owner {
+			others = append(others, w)
+		}
+	}
+	owner.down.Store(true)
+	others[0].inflight.Store(5)
+	others[1].inflight.Store(2)
+	if w, affinity := p.Route(key, nil); w != others[1] || affinity {
+		t.Errorf("downed owner fallback = (%s, %v), want least-loaded %s without affinity",
+			w.URL, affinity, others[1].URL)
+	}
+
+	// skip excludes the failed worker even when it is healthy.
+	owner.down.Store(false)
+	if w, _ := p.Route(key, owner); w == owner {
+		t.Error("Route returned the skipped owner despite healthy alternatives")
+	}
+
+	// Sole healthy survivor is returned even when it is the skip target:
+	// retrying it beats failing the run outright.
+	for _, w := range p.Workers() {
+		w.down.Store(w != others[1])
+	}
+	if w, _ := p.Route(key, others[1]); w != others[1] {
+		t.Errorf("sole survivor not reused: got %v", w)
+	}
+
+	// All down: no route.
+	others[1].down.Store(true)
+	if w, _ := p.Route(key, nil); w != nil {
+		t.Errorf("all-down Route = %s, want nil", w.URL)
+	}
+}
+
+func TestNewPoolRejectsBadFleets(t *testing.T) {
+	if _, err := NewPool(nil, PoolConfig{}, nil, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewPool([]string{"http://a", ""}, PoolConfig{}, nil, nil); err == nil {
+		t.Error("blank worker URL accepted")
+	}
+	if _, err := NewPool([]string{"http://a", "http://a/"}, PoolConfig{}, nil, nil); err == nil {
+		t.Error("duplicate worker URL (modulo trailing slash) accepted")
+	}
+}
+
+func TestHRWScoreSeparatesBoundaries(t *testing.T) {
+	// The separator byte keeps (worker, key) concatenation ambiguity out
+	// of the score: ("ab","c") and ("a","bc") must differ.
+	if hrwScore("ab", "c") == hrwScore("a", "bc") {
+		t.Error("hrwScore collides across the worker/key boundary")
+	}
+}

@@ -1,0 +1,400 @@
+package cluster
+
+// The coordinator HTTP facade: the same /run, /batch, /metrics and
+// /healthz surface as one cmd/serve worker, backed by the fleet instead
+// of a local simulator. cmd/serve -coordinator mounts this mux, so
+// cmd/loadgen and every other caller is unchanged when a deployment grows
+// from one host to a fleet.
+//
+//   - /run proxies one simulation to the fleet, routed by the run's
+//     content-addressed cache key; the worker's JSON body and status pass
+//     through, with X-Cluster-Worker naming the member that answered.
+//   - /batch fans a bench × policy grid out across the fleet and merges
+//     the per-run summaries deterministically, ordered by run index (not
+//     arrival order): the merged document is byte-identical whether it
+//     was computed by one worker or a fleet absorbing mid-batch failures.
+//   - /healthz reports per-worker state (up/down, inflight, consecutive
+//     failures) as JSON; 200 while at least one worker is healthy.
+//   - /metrics exposes the ClusterMetrics bundle (plus the standard
+//     serving request accounting) as Prometheus text.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config assembles the coordinator.
+type Config struct {
+	// Workers lists the fleet members' base URLs.
+	Workers []string
+	// Insts is the default committed-instruction budget for /run and
+	// /batch when the request does not carry insts=; 0 means 1e6.
+	Insts    uint64
+	Pool     PoolConfig
+	Dispatch DispatchConfig
+}
+
+// Server is the coordinator. Build it with NewServer.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	disp  *Dispatcher
+	reg   *telemetry.Registry
+	cm    *telemetry.ClusterMetrics
+	sm    *telemetry.ServingMetrics
+	ids   *serving.RequestIDs
+	logf  func(format string, args ...any)
+	start time.Time
+}
+
+// NewServer builds the coordinator and its routed mux. ctx bounds the
+// background health prober's lifetime. logf may be nil (silent).
+func NewServer(ctx context.Context, cfg Config, logf func(format string, args ...any)) (*Server, *http.ServeMux, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Insts == 0 {
+		cfg.Insts = 1_000_000
+	}
+	reg := telemetry.NewRegistry()
+	cm := telemetry.NewClusterMetrics(reg, len(cfg.Workers))
+	pool, err := NewPool(cfg.Workers, cfg.Pool, cm, logf)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool,
+		disp:  NewDispatcher(pool, cfg.Dispatch, cm),
+		reg:   reg,
+		cm:    cm,
+		sm:    telemetry.NewServingMetrics(reg),
+		ids:   serving.NewRequestIDs(),
+		logf:  logf,
+		start: time.Now(),
+	}
+	pool.Start(ctx)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/run", serving.Instrument(s.sm, s.handleRun))
+	mux.HandleFunc("/batch", serving.Instrument(s.sm, s.handleBatch))
+	return s, mux, nil
+}
+
+// Pool exposes the fleet (tests and cmd/serve logging).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Dispatcher exposes the reliability layer.
+func (s *Server) Dispatcher() *Dispatcher { return s.disp }
+
+// Metrics exposes the cluster telemetry bundle.
+func (s *Server) Metrics() *telemetry.ClusterMetrics { return s.cm }
+
+// Registry exposes the coordinator's metric registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// WorkerHealth is one fleet member's row in the /healthz body.
+type WorkerHealth struct {
+	URL              string `json:"url"`
+	Up               bool   `json:"up"`
+	InFlight         int64  `json:"inflight"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+}
+
+// ClusterHealth is the coordinator's /healthz body.
+type ClusterHealth struct {
+	Status         string         `json:"status"`
+	HealthyWorkers int            `json:"healthy_workers"`
+	TotalWorkers   int            `json:"total_workers"`
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Workers        []WorkerHealth `json:"workers"`
+}
+
+// handleHealthz reports per-worker state; 200 while the fleet can serve
+// (at least one healthy worker), 503 otherwise.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := ClusterHealth{
+		HealthyWorkers: s.pool.Healthy(),
+		TotalWorkers:   len(s.pool.Workers()),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+	}
+	for _, wk := range s.pool.Workers() {
+		h.Workers = append(h.Workers, WorkerHealth{
+			URL: wk.URL, Up: wk.Up(), InFlight: wk.InFlight(), ConsecutiveFails: wk.Fails(),
+		})
+	}
+	status := http.StatusOK
+	h.Status = "ok"
+	if h.HealthyWorkers == 0 {
+		status = http.StatusServiceUnavailable
+		h.Status = "no healthy workers"
+	}
+	if err := serving.WriteJSON(w, status, h); err != nil {
+		s.logf("healthz write: %v", err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logf("metrics write: %v", err)
+	}
+}
+
+// runSpec is one fully validated run: its fleet-facing query and the
+// cache key that routes it.
+type runSpec struct {
+	Bench  string
+	Policy string
+	Insts  uint64
+	key    string
+	query  string
+}
+
+// makeSpec validates one (bench, policy, insts) triple by building the
+// exact simulation config a worker will build, and derives the routing
+// key from it — the same sim.CacheKey the worker's disk cache uses, so
+// affinity routing and the cache agree by construction.
+func makeSpec(benchName, policy string, insts uint64) (runSpec, error) {
+	if insts == 0 {
+		return runSpec{}, fmt.Errorf("bad insts: must be positive")
+	}
+	prof, err := bench.ByName(benchName)
+	if err != nil {
+		return runSpec{}, err
+	}
+	cfg := sim.Config{Workload: prof, MaxInsts: insts}
+	if err := bench.ApplyPolicy(&cfg, policy, 0); err != nil {
+		return runSpec{}, err
+	}
+	key, ok := sim.CacheKey(cfg)
+	if !ok {
+		return runSpec{}, fmt.Errorf("config for %s/%s is not routable", benchName, policy)
+	}
+	return runSpec{
+		Bench:  benchName,
+		Policy: policy,
+		Insts:  insts,
+		key:    key,
+		query:  fmt.Sprintf("/run?bench=%s&policy=%s&insts=%d", benchName, policy, insts),
+	}, nil
+}
+
+// handleRun proxies one simulation to the fleet.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+
+	q := r.URL.Query()
+	benchName := q.Get("bench")
+	if benchName == "" {
+		benchName = "gcc"
+	}
+	policy := q.Get("policy")
+	if policy == "" {
+		policy = "PI"
+	}
+	insts := s.cfg.Insts
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, fmt.Errorf("bad insts: %w", err))
+			return
+		}
+		insts = n
+	}
+	spec, err := makeSpec(benchName, policy, insts)
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, err)
+		return
+	}
+
+	resp, err := s.disp.Do(r.Context(), spec.key, spec.query)
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, statusForDispatchError(err), err)
+		return
+	}
+	w.Header().Set("X-Cluster-Worker", resp.Worker.URL)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	if _, err := w.Write(resp.Body); err != nil {
+		s.logf("req %s: writing proxied response: %v", reqID, err)
+	}
+}
+
+// statusForDispatchError maps dispatcher failures onto the gateway
+// statuses a proxy owes its callers: 503 when the whole fleet is down,
+// 499/504 for the caller's own cancellation or deadline, 502 when
+// transport to the fleet failed.
+func statusForDispatchError(err error) int {
+	switch {
+	case errors.Is(err, ErrNoHealthyWorkers):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return serving.StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// RunResult is one merged batch row: exactly the fields determined by the
+// simulated trajectory. Volatile per-request detail (request IDs, cache
+// hit flags, the worker that happened to answer) is deliberately absent,
+// so the merged batch document is byte-identical across fleet sizes and
+// failure histories.
+type RunResult struct {
+	Index     int     `json:"index"`
+	Benchmark string  `json:"benchmark"`
+	Policy    string  `json:"policy"`
+	IPC       float64 `json:"ipc"`
+	Cycles    uint64  `json:"cycles"`
+	Insts     uint64  `json:"insts"`
+	AvgPower  float64 `json:"avg_power"`
+	AvgDuty   float64 `json:"avg_duty"`
+	EmergFrac float64 `json:"emerg_frac"`
+}
+
+// workerSummary mirrors the JSON body cmd/serve's /run emits.
+type workerSummary struct {
+	IPC       float64 `json:"ipc"`
+	Cycles    uint64  `json:"cycles"`
+	Insts     uint64  `json:"insts"`
+	AvgPower  float64 `json:"avg_power"`
+	AvgDuty   float64 `json:"avg_duty"`
+	EmergFrac float64 `json:"emerg_frac"`
+}
+
+// BatchResponse is the merged result of one fan-out batch.
+type BatchResponse struct {
+	Benches  []string    `json:"benches"`
+	Policies []string    `json:"policies"`
+	Insts    uint64      `json:"insts"`
+	Runs     []RunResult `json:"runs"`
+	Failed   int         `json:"failed"`
+	Errors   []string    `json:"errors,omitempty"`
+}
+
+// handleBatch fans a bench × policy grid out across the fleet and
+// answers with the deterministic merge. Parameters: benches= and
+// policies= (comma-separated; defaults are the full 18-benchmark table
+// and the standard policy evaluation set), insts=, and kind= for
+// cmd/serve compatibility (kind=baseline selects the no-DTM policy).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+
+	q := r.URL.Query()
+	benches := bench.Names()
+	if v := q.Get("benches"); v != "" {
+		benches = strings.Split(v, ",")
+	}
+	policies := experiments.DefaultParams().Policies
+	if q.Get("kind") == "baseline" {
+		policies = []string{"none"}
+	}
+	if v := q.Get("policies"); v != "" {
+		policies = strings.Split(v, ",")
+	}
+	insts := s.cfg.Insts
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, fmt.Errorf("bad insts: %w", err))
+			return
+		}
+		insts = n
+	}
+
+	specs := make([]runSpec, 0, len(benches)*len(policies))
+	for _, b := range benches {
+		for _, p := range policies {
+			spec, err := makeSpec(b, p, insts)
+			if err != nil {
+				serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, err)
+				return
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	resp := s.runBatch(r.Context(), specs)
+	resp.Benches, resp.Policies, resp.Insts = benches, policies, insts
+	status := http.StatusOK
+	if resp.Failed == len(specs) && len(specs) > 0 {
+		status = http.StatusBadGateway // nothing completed: surface the outage
+	}
+	if err := serving.WriteJSON(w, status, resp); err != nil {
+		s.logf("req %s: writing batch response: %v", reqID, err)
+	}
+}
+
+// runBatch dispatches every spec concurrently (bounded by the per-worker
+// slot semaphores) and merges the results in run-index order. A worker
+// dying mid-batch is absorbed here: its failed dispatches are requeued
+// onto survivors by the dispatcher, and the merge is indifferent to which
+// member finally answered.
+func (s *Server) runBatch(ctx context.Context, specs []runSpec) BatchResponse {
+	runs := make([]RunResult, len(specs))
+	errs := make([]string, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec runSpec) {
+			defer wg.Done()
+			resp, err := s.disp.Do(ctx, spec.key, spec.query)
+			if err != nil {
+				errs[i] = fmt.Sprintf("%s/%s: %v", spec.Bench, spec.Policy, err)
+				return
+			}
+			if resp.Status != http.StatusOK {
+				errs[i] = fmt.Sprintf("%s/%s: worker status %d", spec.Bench, spec.Policy, resp.Status)
+				return
+			}
+			var sum workerSummary
+			if err := json.Unmarshal(resp.Body, &sum); err != nil {
+				errs[i] = fmt.Sprintf("%s/%s: bad worker body: %v", spec.Bench, spec.Policy, err)
+				return
+			}
+			runs[i] = RunResult{
+				Index:     i,
+				Benchmark: spec.Bench,
+				Policy:    spec.Policy,
+				IPC:       sum.IPC,
+				Cycles:    sum.Cycles,
+				Insts:     sum.Insts,
+				AvgPower:  sum.AvgPower,
+				AvgDuty:   sum.AvgDuty,
+				EmergFrac: sum.EmergFrac,
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+
+	out := BatchResponse{Runs: make([]RunResult, 0, len(specs))}
+	for i := range specs {
+		if errs[i] != "" {
+			out.Failed++
+			out.Errors = append(out.Errors, errs[i])
+			continue
+		}
+		out.Runs = append(out.Runs, runs[i])
+	}
+	return out
+}

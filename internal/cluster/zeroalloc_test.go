@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The routing decision and per-dispatch bookkeeping sit on the per-run
+// hot path of every batch fan-out; like the simulator hot loop, they are
+// gated at zero allocations per operation.
+func TestZeroAllocRouteAndBookkeeping(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cm := telemetry.NewClusterMetrics(reg, 3)
+	pool, err := NewPool([]string{"http://w0:8721", "http://w1:8721", "http://w2:8721"},
+		PoolConfig{ProbeEvery: -1}, cm, nil)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	d := NewDispatcher(pool, DispatchConfig{}, cm)
+	key := "sha256:cafef00dcafef00dcafef00dcafef00dcafef00dcafef00dcafef00dcafef00d"
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		w, affinity := pool.Route(key, nil)
+		if !d.tryAcquire(w) {
+			panic("slot unexpectedly full")
+		}
+		d.noteDispatch(w, affinity, true)
+		d.noteRetry(w)
+		d.noteHedge(w)
+		d.release(w)
+	})
+	if allocs != 0 {
+		t.Errorf("route+bookkeeping allocates %.1f per dispatch, want 0", allocs)
+	}
+}

@@ -1,0 +1,33 @@
+package runner
+
+// Shared retry-pacing helper: the disk cache layer and the cluster
+// dispatcher both recover from transient failures with bounded retries
+// spaced by exponential backoff. The exponential schedule lives here;
+// jitter (which wants a caller-owned RNG for reproducibility) is applied
+// by the caller on top.
+
+import "time"
+
+// ExpBackoff returns the delay before retry number attempt (0-based: the
+// delay between the first failure and the second try). The schedule is
+// base << attempt, capped at max when max > 0. Shift amounts are clamped
+// so pathological attempt counts cannot overflow into negative durations.
+func ExpBackoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 32 {
+		attempt = 32
+	}
+	d := base << uint(attempt)
+	if d < base { // overflow past the int64 range
+		d = 1<<63 - 1
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,31 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpBackoffSchedule(t *testing.T) {
+	base := 2 * time.Millisecond
+	for i, want := range []time.Duration{2, 4, 8, 16, 32} {
+		if got := ExpBackoff(i, base, 0); got != want*time.Millisecond {
+			t.Errorf("ExpBackoff(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+}
+
+func TestExpBackoffCapAndEdges(t *testing.T) {
+	if got := ExpBackoff(10, time.Millisecond, 50*time.Millisecond); got != 50*time.Millisecond {
+		t.Errorf("capped backoff = %v, want 50ms", got)
+	}
+	if got := ExpBackoff(3, 0, time.Second); got != 0 {
+		t.Errorf("zero base backoff = %v, want 0", got)
+	}
+	if got := ExpBackoff(-5, time.Millisecond, 0); got != time.Millisecond {
+		t.Errorf("negative attempt backoff = %v, want base", got)
+	}
+	// Huge attempt counts must clamp, not overflow negative.
+	if got := ExpBackoff(1<<20, time.Second, 0); got <= 0 {
+		t.Errorf("huge attempt backoff = %v, want positive", got)
+	}
+}

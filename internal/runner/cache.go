@@ -80,7 +80,7 @@ func (c *Cache[R]) withRetry(name string, op func() error) error {
 	var err error
 	for attempt := 0; attempt < diskAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(retryBackoff << (attempt - 1))
+			time.Sleep(ExpBackoff(attempt-1, retryBackoff, 0))
 			c.count(func(m *telemetry.CacheMetrics) { m.DiskRetries.Inc() })
 		}
 		if c.faults != nil {

@@ -82,6 +82,22 @@ func WriteError(w http.ResponseWriter, logf func(format string, args ...any), re
 	}
 }
 
+// Health is the JSON readiness body cmd/serve answers on /healthz: the
+// remaining-capacity view a cluster prober or operator needs (live
+// inflight and queue depth against their bounds, whether a persistent run
+// cache is attached, uptime). The HTTP status keeps the old plain-probe
+// contract — 200 while serving, 503 while draining — so load balancers
+// and scripts that only look at the code are unchanged.
+type Health struct {
+	Status        string  `json:"status"`
+	InFlight      int     `json:"inflight"`
+	QueueDepth    int     `json:"queue_depth"`
+	MaxInFlight   int     `json:"max_inflight"`
+	MaxQueue      int     `json:"max_queue"`
+	CacheDir      bool    `json:"cache_dir"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 // StatusForRunError maps a simulation error to an HTTP status: client
 // disconnect (context.Canceled propagated through the request context) to
 // 499, an expired per-request deadline to 504, anything else to 500.

@@ -7,6 +7,8 @@ package telemetry
 // get-or-create, so every bundle increments the same underlying metrics
 // while keeping its own uncontended counter stripes.
 
+import "fmt"
+
 // Standard bucket layouts.
 var (
 	// ThermalStepBuckets covers the per-cycle thermal solve: hundreds of
@@ -141,6 +143,90 @@ func NewServingMetrics(r *Registry) *ServingMetrics {
 		AdmissionWait:  r.Histogram("serve_admission_wait_seconds", "Time admitted requests waited for a slot.", AdmissionWaitBuckets),
 		RequestSeconds: r.Histogram("serve_request_seconds", "End-to-end handler latency, sheds included.", RequestSecondsBuckets),
 	}
+}
+
+// ClusterMetrics is the coordinator's bundle: fleet-wide dispatch
+// outcomes (with the cache-affinity routing hit ratio split into hit and
+// miss counters), hedging and requeue activity, the healthy-worker gauge,
+// the dispatch-latency histogram, and one ClusterWorkerMetrics set per
+// fleet member. Everything on the dispatch path is a pre-registered
+// handle: the routing decision and per-dispatch bookkeeping stay
+// allocation-free per the repository gate.
+type ClusterMetrics struct {
+	// Dispatch outcomes. Dispatched counts every attempt handed to a
+	// worker; Retried counts re-dispatches after a transport/5xx/429
+	// failure; Requeued counts the subset of retries that moved a run to a
+	// different worker than the failed attempt (a downed worker's
+	// outstanding runs landing on survivors).
+	Dispatched *Counter
+	Retried    *Counter
+	Requeued   *Counter
+
+	// Hedging. Hedges counts speculative duplicate requests fired at a
+	// second worker after the hedge delay; HedgeWins counts the hedges
+	// whose response arrived first (the primary was cancelled).
+	Hedges    *Counter
+	HedgeWins *Counter
+
+	// Routing affinity: a hit is a dispatch that landed on the rendezvous
+	// owner of its cache key (the worker whose disk cache holds any prior
+	// identical run); a miss fell back to a least-loaded healthy worker.
+	AffinityHits   *Counter
+	AffinityMisses *Counter
+
+	// WorkersUp is the current healthy-worker count.
+	WorkersUp *Gauge
+
+	// DispatchSeconds is one worker round trip (request to full body).
+	DispatchSeconds *Histogram
+
+	// Workers holds the per-fleet-member sets, indexed like the pool.
+	Workers []*ClusterWorkerMetrics
+}
+
+// ClusterWorkerMetrics is one fleet member's dispatch accounting.
+type ClusterWorkerMetrics struct {
+	Dispatched *Counter
+	Retried    *Counter
+	Requeued   *Counter
+	Hedged     *Counter
+	Up         *Gauge
+	InFlight   *Gauge
+}
+
+// NewClusterMetrics registers (or reuses) the cluster metric family on r
+// for a fleet of n workers. Per-worker metrics are indexed by position in
+// the worker list (cluster_worker_0_..., cluster_worker_1_...).
+func NewClusterMetrics(r *Registry, n int) *ClusterMetrics {
+	m := &ClusterMetrics{
+		Dispatched: r.Counter("cluster_dispatched_total", "Run dispatches handed to a worker (every attempt)."),
+		Retried:    r.Counter("cluster_retries_total", "Dispatches re-issued after a transport, 5xx or 429 failure."),
+		Requeued:   r.Counter("cluster_requeued_total", "Retries that moved a run onto a different worker than the failed attempt."),
+
+		Hedges:    r.Counter("cluster_hedges_total", "Speculative duplicate requests fired at a second worker."),
+		HedgeWins: r.Counter("cluster_hedge_wins_total", "Hedged requests whose response won the race."),
+
+		AffinityHits:   r.Counter("cluster_affinity_hits_total", "Dispatches routed to the rendezvous owner of their cache key."),
+		AffinityMisses: r.Counter("cluster_affinity_misses_total", "Dispatches that fell back to a least-loaded healthy worker."),
+
+		WorkersUp: r.Gauge("cluster_workers_up", "Workers currently considered healthy."),
+
+		DispatchSeconds: r.Histogram("cluster_dispatch_seconds", "One worker round trip, request to full response body.", RequestSecondsBuckets),
+
+		Workers: make([]*ClusterWorkerMetrics, n),
+	}
+	for i := range m.Workers {
+		p := fmt.Sprintf("cluster_worker_%d_", i)
+		m.Workers[i] = &ClusterWorkerMetrics{
+			Dispatched: r.Counter(p+"dispatched_total", "Dispatches handed to this worker."),
+			Retried:    r.Counter(p+"retried_total", "Failed dispatches on this worker that were retried."),
+			Requeued:   r.Counter(p+"requeued_total", "Runs requeued onto this worker from a failed one."),
+			Hedged:     r.Counter(p+"hedged_total", "Hedge requests fired at this worker."),
+			Up:         r.Gauge(p+"up", "1 while this worker is considered healthy, else 0."),
+			InFlight:   r.Gauge(p+"inflight", "Dispatches currently outstanding on this worker."),
+		}
+	}
+	return m
 }
 
 // RunnerMetrics is the experiment engine's bundle: batch/run lifecycle

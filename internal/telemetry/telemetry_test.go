@@ -206,3 +206,63 @@ func TestBundlesRegisterOnce(t *testing.T) {
 		t.Fatal("runner metrics broken")
 	}
 }
+
+func TestClusterMetricsPerWorkerFamilies(t *testing.T) {
+	r := NewRegistry()
+	m := NewClusterMetrics(r, 3)
+	if len(m.Workers) != 3 {
+		t.Fatalf("worker bundles = %d, want 3", len(m.Workers))
+	}
+	m.Dispatched.Inc()
+	m.Workers[2].Dispatched.Inc()
+	m.Workers[2].Up.Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"cluster_dispatched_total 1",
+		"cluster_worker_2_dispatched_total 1",
+		"cluster_worker_2_up 1",
+		"cluster_worker_0_dispatched_total 0",
+		"cluster_dispatch_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Re-registration shares the same underlying metrics.
+	again := NewClusterMetrics(r, 3)
+	again.Dispatched.Inc()
+	if m.Dispatched.Value() != 2 {
+		t.Error("cluster bundles did not share one counter")
+	}
+}
+
+// TestZeroAllocClusterMetricsHandles is part of the allocation gate: the
+// cluster dispatch path increments these handles once per run, and the
+// routing + bookkeeping hot path must stay allocation-free.
+func TestZeroAllocClusterMetricsHandles(t *testing.T) {
+	r := NewRegistry()
+	m := NewClusterMetrics(r, 2)
+	w := m.Workers[1]
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			m.Dispatched.Inc()
+			m.Retried.Inc()
+			m.Requeued.Inc()
+			m.Hedges.Inc()
+			m.AffinityHits.Inc()
+			m.AffinityMisses.Inc()
+			m.WorkersUp.Set(float64(i))
+			m.DispatchSeconds.Observe(float64(i) * 1e-3)
+			w.Dispatched.Inc()
+			w.Up.Set(1)
+			w.InFlight.Set(float64(i))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("cluster metrics hot path allocates %.2f per run; want 0", allocs)
+	}
+}

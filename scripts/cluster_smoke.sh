@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot two cmd/serve workers and a coordinator over
+# them, run traffic through the full fan-out path, SIGKILL one worker
+# mid-batch, and verify the cluster absorbs it. Run from the repository
+# root; used by the CI cluster-smoke job and reproducible locally:
+#
+#   ./scripts/cluster_smoke.sh
+#
+# Pass criteria:
+#   - coordinator /healthz, /run, /metrics answer 2xx and expose the
+#     cluster_* metric families
+#   - a batch survives kill -9 of a worker mid-run: "failed": 0, and the
+#     coordinator logs the mark-down
+#   - the restarted worker is marked back up (log line + /healthz)
+#   - loadgen -check passes against the coordinator, and against the raw
+#     worker list (multi-target round-robin)
+set -euo pipefail
+
+P0="${CLUSTER_SMOKE_PORT:-8750}"   # coordinator
+P1=$((P0 + 1))                     # worker 1
+P2=$((P0 + 2))                     # worker 2
+C="http://127.0.0.1:${P0}"
+W1="http://127.0.0.1:${P1}"
+W2="http://127.0.0.1:${P2}"
+DIR="$(mktemp -d)"
+trap 'kill -9 "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true; rm -rf "${DIR}"' EXIT
+
+go build -o "${DIR}/serve" ./cmd/serve
+go build -o "${DIR}/loadgen" ./cmd/loadgen
+
+start_worker() { # $1 = port, $2 = log path, $3 = cache dir
+  "${DIR}/serve" -addr "127.0.0.1:$1" -insts 200000 -cache-dir "$3" \
+    -max-inflight 4 -queue 8 -workers 2 -run-timeout 30s >"$2" 2>&1 &
+}
+
+wait_healthy() { # $1 = base URL, $2 = name
+  for i in $(seq 1 50); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "$2 never became healthy"
+  cat "${DIR}"/*.log || true
+  exit 1
+}
+
+start_worker "${P1}" "${DIR}/w1.log" "${DIR}/cache1"
+W1_PID=$!
+start_worker "${P2}" "${DIR}/w2.log" "${DIR}/cache2"
+W2_PID=$!
+wait_healthy "${W1}" "worker 1"
+wait_healthy "${W2}" "worker 2"
+
+"${DIR}/serve" -coordinator -addr "127.0.0.1:${P0}" -workers "${W1},${W2}" \
+  -insts 200000 -probe-every 200ms -probe-fails 2 -cluster-retries 4 \
+  -retry-backoff 10ms -dispatch-timeout 60s >"${DIR}/coord.log" 2>&1 &
+COORD_PID=$!
+wait_healthy "${C}" "coordinator"
+
+echo "== coordinator endpoints"
+curl -fsS "${C}/healthz"
+curl -fsS "${C}/run?bench=gcc&policy=PI&insts=100000" | head -c 400; echo
+curl -fsS "${C}/metrics" | grep -E "^cluster_dispatched_total" || {
+  echo "metrics missing cluster family"; exit 1; }
+
+echo "== kill -9 worker 1 mid-batch, batch must still complete"
+curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/batch.json" &
+BATCH_PID=$!
+sleep 1
+kill -9 "${W1_PID}"
+wait "${BATCH_PID}" || { echo "batch request failed"; cat "${DIR}/coord.log"; exit 1; }
+grep -q '"failed": 0' "${DIR}/batch.json" || {
+  echo "batch reported failures after worker kill:";
+  grep -E '"failed"|"errors"' "${DIR}/batch.json"; cat "${DIR}/coord.log"; exit 1; }
+RUNS=$(grep -c '"benchmark"' "${DIR}/batch.json")
+echo "batch completed: ${RUNS} runs, 0 failed"
+
+echo "== coordinator marks the corpse down"
+DOWN_OK=0
+for i in $(seq 1 50); do
+  curl -fsS -o "${DIR}/metrics.txt" "${C}/metrics" || true
+  if grep -q "^cluster_workers_up 1" "${DIR}/metrics.txt"; then DOWN_OK=1; break; fi
+  sleep 0.2
+done
+[ "${DOWN_OK}" = 1 ] || { echo "worker 1 never marked down"; cat "${DIR}/coord.log"; exit 1; }
+grep -q "marked down" "${DIR}/coord.log" || {
+  echo "coordinator log missing mark-down line"; cat "${DIR}/coord.log"; exit 1; }
+
+echo "== restarted worker is marked back up"
+start_worker "${P1}" "${DIR}/w1b.log" "${DIR}/cache1"
+W1_PID=$!
+wait_healthy "${W1}" "restarted worker 1"
+UP_OK=0
+for i in $(seq 1 50); do
+  curl -fsS -o "${DIR}/metrics.txt" "${C}/metrics" || true
+  if grep -q "^cluster_workers_up 2" "${DIR}/metrics.txt"; then UP_OK=1; break; fi
+  sleep 0.2
+done
+[ "${UP_OK}" = 1 ] || { echo "restarted worker never marked up"; cat "${DIR}/coord.log"; exit 1; }
+grep -q "marked up" "${DIR}/coord.log" || {
+  echo "coordinator log missing mark-up line"; cat "${DIR}/coord.log"; exit 1; }
+
+echo "== loadgen through the coordinator"
+"${DIR}/loadgen" -url "${C}" -duration 3s -concurrency 4 -insts 100000 \
+  -check -json "${DIR}/coord_load.json"
+
+echo "== loadgen round-robin across the raw worker list"
+"${DIR}/loadgen" -url "${W1},${W2}" -duration 3s -concurrency 4 -insts 100000 \
+  -check -json "${DIR}/fleet_load.json"
+grep -q '"targets"' "${DIR}/fleet_load.json" || {
+  echo "loadgen report missing per-target breakdown"; exit 1; }
+
+echo "== graceful coordinator shutdown"
+kill -INT "${COORD_PID}"
+for i in $(seq 1 40); do
+  kill -0 "${COORD_PID}" 2>/dev/null || break
+  sleep 0.25
+done
+kill -0 "${COORD_PID}" 2>/dev/null && { echo "coordinator did not exit"; exit 1; }
+wait "${COORD_PID}" && RC=0 || RC=$?
+[ "${RC}" = 0 ] || { echo "coordinator exited ${RC}"; cat "${DIR}/coord.log"; exit 1; }
+grep -q "drained, shut down" "${DIR}/coord.log" || {
+  echo "coordinator log missing drain confirmation"; cat "${DIR}/coord.log"; exit 1; }
+
+kill -INT "${W1_PID}" "${W2_PID}" 2>/dev/null || true
+echo "cluster smoke OK"
