@@ -244,7 +244,8 @@ func (h *Histogram) BinCenter(i int) float64 {
 }
 
 // Quantile returns an approximate q-quantile (q in [0,1]) from the binned
-// distribution, or NaN with no samples.
+// distribution, or NaN with no samples. Quantile(0) returns the center of
+// the first non-empty bin (the binned minimum).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return math.NaN()
@@ -259,7 +260,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	var cum float64
 	for i, c := range h.bins {
 		cum += float64(c)
-		if cum >= target {
+		// cum > 0 skips empty leading bins: with q = 0 the target is 0
+		// and a bare cum >= target would report BinCenter(0) even when
+		// no sample ever landed there.
+		if cum >= target && cum > 0 {
 			return h.BinCenter(i)
 		}
 	}

@@ -214,6 +214,30 @@ func TestHistogramEmptyQuantileIsNaN(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileZeroSkipsEmptyBins pins the q=0 fix: with every
+// sample in the last bin, Quantile(0) must report that bin, not the empty
+// first one (target = 0 used to satisfy cum >= target immediately).
+func TestHistogramQuantileZeroSkipsEmptyBins(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		h.Add(9.5)
+	}
+	if q := h.Quantile(0); q != h.BinCenter(9) {
+		t.Errorf("Quantile(0) = %v, want first non-empty bin center %v", q, h.BinCenter(9))
+	}
+	// With mass in bin 0 the answer is unchanged from the old behaviour.
+	h2 := NewHistogram(0, 10, 10)
+	h2.Add(0.2)
+	h2.Add(9.5)
+	if q := h2.Quantile(0); q != h2.BinCenter(0) {
+		t.Errorf("Quantile(0) = %v, want %v", q, h2.BinCenter(0))
+	}
+	// Negative q clamps to 0 and follows the same rule.
+	if q := h.Quantile(-1); q != h.BinCenter(9) {
+		t.Errorf("Quantile(-1) = %v, want %v", q, h.BinCenter(9))
+	}
+}
+
 func TestSeriesStride(t *testing.T) {
 	s := NewSeries(10)
 	for i := uint64(0); i < 100; i++ {

@@ -1,5 +1,10 @@
 package workload
 
+import (
+	"math"
+	"math/bits"
+)
+
 // rng is a small deterministic xorshift64* generator. The simulator cannot
 // use math/rand's global state because every benchmark run must be exactly
 // reproducible from its profile seed (the paper uses SimpleScalar EIO
@@ -31,23 +36,57 @@ func (r *rng) float() float64 {
 }
 
 // intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// Bounded sampling uses Lemire's multiply-shift method: map the 64-bit
+// draw into [0, n) via the high word of a 128-bit product, rejecting the
+// few draws that land in the short first interval so every value is
+// exactly equally likely. The previous `next() % n` mapping carried a
+// modulo bias of up to 2^-64·n toward small values — negligible for the
+// tiny bounds used here, but wrong in principle and cheap to fix.
 func (r *rng) intn(n int) int {
 	if n <= 0 {
 		panic("workload: intn on non-positive bound")
 	}
-	return int(r.next() % uint64(n))
+	bound := uint64(n)
+	hi, lo := bits.Mul64(r.next(), bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.next(), bound)
+		}
+	}
+	return int(hi)
 }
+
+// geomCap bounds a single geometric sample. The inverse-CDF transform can
+// in principle return astronomically large values on pathological uniform
+// draws (p ≈ 2^-53); capping at 2^20 keeps dependence distances finite
+// without measurably biasing any realistic mean (for DepMean ≤ 1000 the
+// probability mass above the cap is < 1e-450).
+const geomCap = 1 << 20
 
 // geometric returns a sample >= 1 from a geometric distribution with the
 // given mean (mean must be >= 1).
+//
+// Sampling is by closed-form inversion of the geometric CDF:
+// n = 1 + floor(log(u)/log(1-p)) with u uniform in (0, 1] and p = 1/mean.
+// The previous implementation counted Bernoulli failures but stopped at
+// 64, silently truncating the tail; for DepMean 100 that biased the
+// sampled mean down to ~47, so high-ILP profiles received roughly half
+// the dependence distance (and thus far less ILP) than specified.
 func (r *rng) geometric(mean float64) int {
 	if mean <= 1 {
 		return 1
 	}
 	p := 1 / mean
-	n := 1
-	for r.float() > p && n < 64 {
-		n++
+	// r.float() is uniform in [0, 1); flip it to (0, 1] so log(u) is finite.
+	u := 1 - r.float()
+	n := 1 + int(math.Log(u)/math.Log(1-p))
+	if n < 1 {
+		return 1
+	}
+	if n > geomCap {
+		return geomCap
 	}
 	return n
 }

@@ -1,0 +1,144 @@
+package workload
+
+// Distributional regression tests for the workload RNG. Two historical
+// bugs motivate them: geometric() truncated its tail at 64 (biasing the
+// sampled mean of DepMean-100 profiles down to ~47), and intn() used a
+// plain modulo that over-weights small values for bounds near 2^64.
+
+import (
+	"math"
+	"testing"
+)
+
+// geomStats samples the geometric distribution n times and returns the
+// sample mean and variance.
+func geomStats(seed uint64, mean float64, n int) (m, v float64) {
+	r := newRNG(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := float64(r.geometric(mean))
+		sum += x
+		sumSq += x * x
+	}
+	m = sum / float64(n)
+	v = sumSq/float64(n) - m*m
+	return m, v
+}
+
+// TestGeometricMeanAndVariance checks the first two moments for a spread
+// of means. A geometric on {1, 2, ...} with mean m has p = 1/m and
+// variance m(m-1); the old 64-capped sampler fails the mean check for
+// every mean above ~20.
+func TestGeometricMeanAndVariance(t *testing.T) {
+	const n = 200_000
+	for _, mean := range []float64{1.5, 4, 20, 100, 400} {
+		m, v := geomStats(77, mean, n)
+		wantVar := mean * (mean - 1)
+		// Standard error of the mean is sqrt(var/n); allow 5 sigma.
+		meanTol := 5 * math.Sqrt(wantVar/n)
+		if math.Abs(m-mean) > meanTol {
+			t.Errorf("mean %g: sample mean %v (tol %v)", mean, m, meanTol)
+		}
+		if wantVar > 0 && math.Abs(v-wantVar) > 0.08*wantVar {
+			t.Errorf("mean %g: sample variance %v, want ~%v", mean, v, wantVar)
+		}
+	}
+}
+
+// TestGeometricDepMeanRegression pins the exact bug the inverse-CDF
+// rewrite fixed: a DepMean of 100 must actually yield a mean dependence
+// distance of ~100. The failure-counting sampler capped at 64 returned a
+// mean of ~47 here.
+func TestGeometricDepMeanRegression(t *testing.T) {
+	m, _ := geomStats(101, 100, 200_000)
+	if math.Abs(m-100) > 2 {
+		t.Fatalf("DepMean 100 yields mean dependence distance %v, want ~100", m)
+	}
+}
+
+// TestGeometricSupport checks the sample range: always >= 1, and never
+// above the documented cap.
+func TestGeometricSupport(t *testing.T) {
+	r := newRNG(5)
+	for i := 0; i < 100_000; i++ {
+		n := r.geometric(50)
+		if n < 1 || n > geomCap {
+			t.Fatalf("geometric(50) = %d out of [1, %d]", n, geomCap)
+		}
+	}
+	if r.geometric(1) != 1 || r.geometric(0.25) != 1 {
+		t.Error("geometric with mean <= 1 must return 1")
+	}
+}
+
+// TestIntnChiSquaredUniform applies a chi-squared goodness-of-fit test to
+// intn(k) for several bounds. With df = k-1 the 99.9th percentile for
+// df=9 is 27.9 and for df=31 is 61.1; a fixed seed makes the draw
+// deterministic, so the generous 1e-3 significance never flakes.
+func TestIntnChiSquaredUniform(t *testing.T) {
+	for _, tc := range []struct {
+		k      int
+		chiMax float64
+	}{
+		{10, 27.9},
+		{32, 61.1},
+	} {
+		r := newRNG(1234)
+		const n = 100_000
+		counts := make([]int, tc.k)
+		for i := 0; i < n; i++ {
+			x := r.intn(tc.k)
+			if x < 0 || x >= tc.k {
+				t.Fatalf("intn(%d) = %d out of range", tc.k, x)
+			}
+			counts[x]++
+		}
+		expect := float64(n) / float64(tc.k)
+		var chi2 float64
+		for _, c := range counts {
+			d := float64(c) - expect
+			chi2 += d * d / expect
+		}
+		if chi2 > tc.chiMax {
+			t.Errorf("intn(%d) chi^2 = %v > %v", tc.k, chi2, tc.chiMax)
+		}
+	}
+}
+
+// TestIntnLargeBoundUnbiased detects modulo bias directly. For the bound
+// 3<<61, 2^64 mod bound = 2^62, so a plain `next() % bound` returns a
+// value below 2^62 with probability 3/4 instead of the uniform 2/3. The
+// Lemire rejection sampler must land within noise of 2/3.
+func TestIntnLargeBoundUnbiased(t *testing.T) {
+	const (
+		bound = 3 << 61
+		split = 1 << 62
+		n     = 200_000
+	)
+	r := newRNG(4321)
+	below := 0
+	for i := 0; i < n; i++ {
+		if r.intn(bound) < split {
+			below++
+		}
+	}
+	f := float64(below) / n
+	// 5 sigma of a Bernoulli(2/3) proportion over n draws is ~0.0053.
+	if math.Abs(f-2.0/3.0) > 0.006 {
+		t.Errorf("P(intn(3<<61) < 1<<62) = %v, want ~2/3 (3/4 indicates modulo bias)", f)
+	}
+}
+
+// TestRNGDeterministicFromSeed pins that the unbiased samplers remain a
+// pure function of the seed — the workload reproducibility contract.
+func TestRNGDeterministicFromSeed(t *testing.T) {
+	a, b := newRNG(99), newRNG(99)
+	for i := 0; i < 10_000; i++ {
+		if x, y := a.intn(1000), b.intn(1000); x != y {
+			t.Fatalf("intn diverged at draw %d: %d vs %d", i, x, y)
+		}
+		if x, y := a.geometric(30), b.geometric(30); x != y {
+			t.Fatalf("geometric diverged at draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
