@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/control"
+	"repro/internal/core"
 	"repro/internal/dtm"
 	"repro/internal/experiments"
 	"repro/internal/power"
@@ -60,16 +61,22 @@ type CacheStats struct {
 	StoredBytes       int64   `json:"stored_bytes"`
 }
 
-// Report is the BENCH_runner.json schema. v2 adds the macro-stepped
-// fast path (dtm_pi now measures it; dtm_pi_euler keeps the per-cycle
-// Euler baseline) and the run-cache cold/warm measurement.
+// Report is the BENCH_runner.json schema. v2 added the macro-stepped
+// fast path (dtm_pi measures it; dtm_pi_euler keeps the per-cycle Euler
+// baseline) and the run-cache cold/warm measurement. v3 normalizes
+// hot-loop cost by simulated cycles rather than Step calls (a surrogate
+// Step replays a whole thermal window) and adds the surrogate suite
+// comparison.
 type Report struct {
 	Schema     string                `json:"schema"`
 	Date       string                `json:"date"`
 	GoMaxProcs int                   `json:"gomaxprocs"`
 	NumCPU     int                   `json:"num_cpu"`
 	HotLoop    map[string]CycleStats `json:"hot_loop"`
-	Batches    []BatchStats          `json:"baseline_batches"`
+	// Suite is the full-suite cycle-exact vs pipeline-surrogate
+	// comparison (see SuiteStats).
+	Suite   *SuiteStats  `json:"surrogate_suite,omitempty"`
+	Batches []BatchStats `json:"baseline_batches"`
 	// SpeedupParallelVsSerial is parallel wall time over serial wall
 	// time for the same batch; bounded by available cores.
 	SpeedupParallelVsSerial float64     `json:"speedup_parallel_vs_serial"`
@@ -104,12 +111,26 @@ func hotVariants() map[string]sim.Config {
 			Metrics: telemetry.NewSimMetrics(telemetry.NewRegistry()),
 			Trace:   telemetry.NewRecorder(io.Discard, 13, 256),
 		},
+		// Pipeline-surrogate counterparts of plain and dtm_pi: the same
+		// configurations with calibrated macro-window replay engaged.
+		"surrogate":        {PipelineSurrogate: true},
+		"dtm_pi_surrogate": {Manager: pi(), PipelineSurrogate: true},
 	}
 }
 
+// surWarm is the pre-measurement warm-up for surrogate hot-loop
+// variants: enough cycles for calibration plus several audit doublings
+// of the replay budget ladder.
+const surWarm = 3_000_000
+
 // measureCycles times one variant's steady-state loop and counts heap
-// allocations across it.
-func measureCycles(cfg sim.Config, cycles uint64) (CycleStats, error) {
+// allocations across it. Cost is normalized by simulated cycles, not
+// Step calls: under the pipeline surrogate one Step can replay a whole
+// thermal window, which is exactly the speedup being measured. warm is
+// the cycle count run before the measurement starts — surrogate
+// variants need enough for calibration and the replay budget ladder,
+// not just construction transients.
+func measureCycles(cfg sim.Config, cycles, warm uint64) (CycleStats, error) {
 	prof, err := bench.ByName("gcc")
 	if err != nil {
 		return CycleStats{}, err
@@ -121,23 +142,79 @@ func measureCycles(cfg sim.Config, cycles uint64) (CycleStats, error) {
 	if err != nil {
 		return CycleStats{}, err
 	}
-	for i := 0; i < 20_000; i++ { // past construction transients
+	for s.Cycle() < warm {
 		s.Step()
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	c0 := s.Cycle()
 	start := time.Now()
-	for i := uint64(0); i < cycles; i++ {
+	for s.Cycle()-c0 < cycles {
 		s.Step()
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
+	n := s.Cycle() - c0
 	return CycleStats{
-		NsPerCycle:     float64(wall.Nanoseconds()) / float64(cycles),
-		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
-		Cycles:         cycles,
+		NsPerCycle:     float64(wall.Nanoseconds()) / float64(n),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(n),
+		Cycles:         n,
 	}, nil
+}
+
+// SuiteStats compares cycle-exact and pipeline-surrogate execution over
+// the full benchmark suite at one horizon: total wall time, aggregate
+// ns per simulated cycle, and the replayed-cycle fraction.
+type SuiteStats struct {
+	Policy        string  `json:"policy"`
+	InstsPerRun   uint64  `json:"insts_per_run"`
+	Runs          int     `json:"runs"`
+	ExactSeconds  float64 `json:"exact_seconds"`
+	SurSeconds    float64 `json:"surrogate_seconds"`
+	ExactNsPerCyc float64 `json:"exact_ns_per_cycle"`
+	SurNsPerCyc   float64 `json:"surrogate_ns_per_cycle"`
+	// SpeedupNsPerCycle is exact over surrogate ns/cycle across the
+	// aggregated suite (cycle counts differ by under the documented
+	// drift bound, so this tracks the wall-time ratio closely).
+	SpeedupNsPerCycle float64 `json:"speedup_ns_per_cycle"`
+	ReplayFrac        float64 `json:"replayed_cycle_fraction"`
+}
+
+// measureSuite runs every benchmark in the suite cycle-exact and again
+// with the pipeline surrogate under the given policy.
+func measureSuite(policy string, insts uint64) (SuiteStats, error) {
+	st := SuiteStats{Policy: policy, InstsPerRun: insts}
+	var exactCycles, surCycles, replayed uint64
+	for _, b := range core.Benchmarks() {
+		for _, surrogate := range []bool{false, true} {
+			cfg, err := core.NewRun(b, policy, insts)
+			if err != nil {
+				return st, err
+			}
+			cfg.PipelineSurrogate = surrogate
+			start := time.Now()
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return st, err
+			}
+			wall := time.Since(start).Seconds()
+			if surrogate {
+				st.SurSeconds += wall
+				surCycles += res.Cycles
+				replayed += res.SurrogateCycles
+			} else {
+				st.ExactSeconds += wall
+				exactCycles += res.Cycles
+			}
+		}
+		st.Runs++
+	}
+	st.ExactNsPerCyc = st.ExactSeconds * 1e9 / float64(exactCycles)
+	st.SurNsPerCyc = st.SurSeconds * 1e9 / float64(surCycles)
+	st.SpeedupNsPerCycle = st.ExactNsPerCyc / st.SurNsPerCyc
+	st.ReplayFrac = float64(replayed) / float64(surCycles)
+	return st, nil
 }
 
 func measureBatch(insts uint64, workers int) (BatchStats, error) {
@@ -205,14 +282,16 @@ func measureCache(insts uint64) (CacheStats, error) {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_runner.json", "output JSON path")
-		insts  = flag.Uint64("insts", 200_000, "instructions per baseline run")
-		cycles = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
+		out        = flag.String("out", "BENCH_runner.json", "output JSON path")
+		insts      = flag.Uint64("insts", 200_000, "instructions per baseline run")
+		cycles     = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
+		suiteInsts = flag.Uint64("suite-insts", 8_000_000, "instructions per suite surrogate-comparison run")
+		suitePol   = flag.String("suite-policy", "none", "DTM policy for the suite surrogate comparison")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "repro/bench_runner/v2",
+		Schema:     "repro/bench_runner/v3",
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -230,7 +309,11 @@ func main() {
 	}
 
 	for name, cfg := range hotVariants() {
-		st, err := measureCycles(cfg, *cycles)
+		warm := uint64(20_000) // past construction transients
+		if cfg.PipelineSurrogate {
+			warm = surWarm
+		}
+		st, err := measureCycles(cfg, *cycles, warm)
 		if err != nil {
 			fatal(err)
 		}
@@ -238,6 +321,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hot loop %-8s %7.1f ns/cycle  %.4f allocs/cycle\n",
 			name, st.NsPerCycle, st.AllocsPerCycle)
 	}
+
+	suite, err := measureSuite(*suitePol, *suiteInsts)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Suite = &suite
+	fmt.Fprintf(os.Stderr, "suite (%s, %d insts): exact %.1fs (%.0f ns/cyc) surrogate %.1fs (%.0f ns/cyc) %.1fx, replay %.0f%%\n",
+		suite.Policy, suite.InstsPerRun, suite.ExactSeconds, suite.ExactNsPerCyc,
+		suite.SurSeconds, suite.SurNsPerCyc, suite.SpeedupNsPerCycle, 100*suite.ReplayFrac)
 
 	serial, err := measureBatch(*insts, 1)
 	if err != nil {

@@ -395,6 +395,16 @@ func (m *Model) ChipPower(act *pipeline.Activity, blockPowers []float64) float64
 	for _, p := range blockPowers {
 		total += p
 	}
+	return total + m.ChipOverhead(act)
+}
+
+// ChipOverhead returns the non-block share of one cycle's chip power: the
+// always-on base (clock tree, I/O, decode) plus the dynamic share of the
+// untracked structures, scaled by a commit/fetch utilization estimate.
+// Surrogate replay calibrates the mean of this term over a cycle-exact
+// window and replays it per macro-window, which is exact for the mean
+// chip power because the term is additive in ChipPower.
+func (m *Model) ChipOverhead(act *pipeline.Activity) float64 {
 	util := float64(act.Commits) / m.commitWidth
 	if act.FetchEnabled {
 		util += 0.5 * float64(act.Fetched) / m.fetchWidth
@@ -402,7 +412,7 @@ func (m *Model) ChipPower(act *pipeline.Activity, blockPowers []float64) float64
 	if util > 1 {
 		util = 1
 	}
-	return total + m.otherBaseW + m.otherDynW*util
+	return m.otherBaseW + m.otherDynW*util
 }
 
 // PeakChipPower returns the calibrated whole-chip peak.

@@ -104,6 +104,20 @@ type Config struct {
 	// InitTemps optionally sets initial block temperatures (default:
 	// heatsink temperature everywhere).
 	InitTemps []float64
+	// PipelineSurrogate enables macro-stepped pipeline surrogate
+	// execution: during a workload phase's steady state the simulator
+	// calibrates per-block activity statistics (mean dynamic power, IPC,
+	// chip overhead) from a cycle-exact warm-up window keyed on (phase,
+	// duty, frequency, throttle, speculation bound), then replays them
+	// analytically one thermal window at a time, freezing the pipeline
+	// and advancing the workload stream by the calibrated IPC. Replay
+	// drops back to cycle-exact execution around phase transitions, on
+	// every DTM actuation or frequency-scaling change (new key), near
+	// the instruction budget, on trigger-mechanism stalls, and
+	// periodically for recalibration. Requires the macro-stepped thermal
+	// fast path (incompatible with ProxyWindows, CoupleChipSink and
+	// ThermalStride 1).
+	PipelineSurrogate bool
 	// ThermalStride selects the thermal integration mode. 0 (the
 	// default) auto-selects: the macro-stepped exponential fast path
 	// with DefaultThermalStride-cycle windows when the configuration
@@ -162,9 +176,13 @@ type Result struct {
 	// (nonzero only with CoupleChipSink).
 	SinkDrift float64
 
-	Cycles      uint64
-	Insts       uint64
-	WallSeconds float64
+	Cycles uint64
+	Insts  uint64
+	// SurrogateCycles counts the cycles advanced analytically by the
+	// pipeline surrogate (0 without Config.PipelineSurrogate); the
+	// remainder ran cycle-exact.
+	SurrogateCycles uint64
+	WallSeconds     float64
 	// ThermalSeconds is the total time actually integrated by the thermal
 	// network. Under frequency scaling it tracks WallSeconds to within one
 	// cycle time (the fractional-step carry); without scaling they are
@@ -280,6 +298,32 @@ type Sim struct {
 	winFlushLen uint64
 	powerAcc    []float64
 	winTss      []float64
+
+	// Pipeline surrogate (Config.PipelineSurrogate). gen is the live
+	// workload generator, retained so replay can advance the stream and
+	// observe phase position. surCals is a fixed-capacity calibration
+	// store (slice + linear search rather than a map so the steady-state
+	// replay loop stays allocation-free); surPool/surPoolPow preallocate
+	// its entries. The surAcc* fields accumulate the in-progress
+	// calibration: per-block pre-scaling dynamic power, chip overhead,
+	// and a core snapshot at accumulation start. virtInsts counts
+	// instructions credited analytically during replay.
+	sur         bool
+	gen         *workload.Generator
+	surCals     []surEntry
+	surPool     []surCal
+	surPoolPow  []float64
+	surPoolAcc  []float64
+	surAccKey   surKey
+	surAccOK    bool
+	surAccCal   *surCal // calibration entry for surAccKey, nil if none yet
+	surWarm     uint64
+	surPowAcc   []float64
+	surWinPow   []float64 // scratch: the just-completed window's mean power
+	surExtraAcc float64
+	surSnap0    pipeline.CalSnapshot
+	surCarry    float64
+	virtInsts   uint64
 
 	// Telemetry. pid is the closed-loop controller (if the active policy
 	// wraps one), hoisted at construction so the hot loop reads its state
@@ -513,6 +557,21 @@ func New(cfg Config) (*Sim, error) {
 		s.startWindow()
 	}
 
+	if cfg.PipelineSurrogate {
+		if !s.fast {
+			return nil, fmt.Errorf("sim: PipelineSurrogate requires the macro-stepped thermal fast path (incompatible with power proxies, CoupleChipSink and ThermalStride 1)")
+		}
+		s.sur = true
+		s.gen = gen
+		s.surCals = make([]surEntry, 0, surMaxCals)
+		s.surPool = make([]surCal, surMaxCals)
+		s.surPoolPow = make([]float64, surMaxCals*nblk)
+		s.surPoolAcc = make([]float64, surMaxCals*nblk)
+		s.surPowAcc = make([]float64, nblk)
+		s.surWinPow = make([]float64, nblk)
+		s.surSnap0 = core.Snapshot()
+	}
+
 	// Telemetry wiring: find the PID behind the active policy (if any) so
 	// traces and metrics can read controller internals without per-cycle
 	// type assertions.
@@ -577,9 +636,9 @@ func (s *Sim) flushMetrics() {
 		m.Cycles.Add(int64(d))
 		s.mCycles = s.cycle
 	}
-	if st := s.core.Stats(); st.Committed > s.mInsts {
-		m.Insts.Add(int64(st.Committed - s.mInsts))
-		s.mInsts = st.Committed
+	if total := s.core.Stats().Committed + s.virtInsts; total > s.mInsts {
+		m.Insts.Add(int64(total - s.mInsts))
+		s.mInsts = total
 	}
 	if res.StallCycles > s.mStalls {
 		m.StallCycles.Add(int64(res.StallCycles - s.mStalls))
@@ -621,9 +680,10 @@ func (s *Sim) recordTrace(chip float64) {
 }
 
 // Done reports whether the run has reached its instruction or cycle
-// budget.
+// budget. Instructions credited analytically by the pipeline surrogate
+// count toward the budget.
 func (s *Sim) Done() bool {
-	return s.core.Stats().Committed >= s.cfg.MaxInsts || s.cycle >= s.cfg.MaxCycles
+	return s.core.Stats().Committed+s.virtInsts >= s.cfg.MaxInsts || s.cycle >= s.cfg.MaxCycles
 }
 
 // Cycle returns the number of cycles simulated so far.
@@ -634,6 +694,12 @@ func (s *Sim) Cycle() uint64 { return s.cycle }
 // allocations in the steady state (traces, when enabled, amortize
 // appends). Step must not be called after Finish.
 func (s *Sim) Step() {
+	if s.sur && s.stallLeft == 0 {
+		if cal := s.replayable(); cal != nil {
+			s.stepReplay(cal)
+			return
+		}
+	}
 	s.cycle++
 	cycle := s.cycle
 	res := s.res
@@ -650,6 +716,14 @@ func (s *Sim) Step() {
 	// Power for this cycle.
 	powerVec := s.powerVec
 	s.pmodel.BlockPower(&s.act, powerVec)
+	if s.sur {
+		// Calibration accumulates the pre-scaling, pre-leakage dynamic
+		// power (frequency/leakage are re-applied per replay window).
+		acc := s.surPowAcc
+		for i, p := range powerVec {
+			acc[i] += p
+		}
+	}
 	pf := 1.0
 	if s.hasScaling {
 		pf = s.cfg.Scaling.PowerFactor()
@@ -670,6 +744,9 @@ func (s *Sim) Step() {
 		}
 	}
 	chip := s.pmodel.ChipPower(&s.act, powerVec)
+	if s.sur {
+		s.surExtraAcc += s.pmodel.ChipOverhead(&s.act)
+	}
 	s.chipPower.Add(chip)
 	if chip > res.MaxChipPower {
 		res.MaxChipPower = chip
@@ -708,59 +785,13 @@ func (s *Sim) Step() {
 		s.stepEuler(powerVec, chip, cycle)
 	}
 
-	// DTM. Policies observe the (possibly non-ideal, possibly partial)
-	// sensors. Manager state only changes on sample boundaries
-	// (StepActuation early-returns off-boundary with the actuation
-	// unchanged and the core setters are idempotent), so the whole block
-	// — including the sensor reads — runs only on boundaries. When a
-	// hierarchy also drives the duty, the per-cycle re-assert is kept.
-	if s.mgr != nil && !stalled &&
-		(s.hasHier || (s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0)) {
-		obs := s.temps
-		if s.monitor != nil {
-			s.sensed = s.sensed[:0]
-			for _, i := range s.monitor {
-				s.sensed = append(s.sensed, s.cfg.Sensor.Read(s.temps[i]))
-			}
-			obs = s.sensed
-		} else if s.hasSensor {
-			s.sensed = s.sensed[:len(s.temps)]
-			for i, t := range s.temps {
-				s.sensed[i] = s.cfg.Sensor.Read(t)
-			}
-			obs = s.sensed
-		}
-		a, stall := s.mgr.StepActuation(cycle, obs)
-		if a.FetchDuty != s.duty {
-			s.duty = a.FetchDuty
-			s.core.SetFetchDuty(s.duty)
-		}
-		s.core.SetFetchLimit(a.FetchLimit)
-		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
-		s.stallLeft += stall
-		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
-			s.countDTMSample()
-		}
-	}
-	if s.hasScaling && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-		f, stall := s.cfg.Scaling.Sample(s.temps)
-		s.freqFactor = f
-		s.stallLeft += stall
-	}
-	if s.hasHier && !stalled && cycle%dtm.DefaultSampleInterval == 0 {
-		d, f, stall := s.cfg.Hierarchy.SampleHierarchy(s.temps)
-		d = control.Quantize(d, 8)
-		if d != s.duty {
-			s.duty = d
-			s.core.SetFetchDuty(s.duty)
-		}
-		s.freqFactor = f
-		s.stallLeft += stall
-		if s.hasMetrics {
-			s.countDTMSample()
-		}
+	if !stalled {
+		s.sampleDTM(cycle)
 	}
 	s.dutySum += s.duty
+	if s.sur {
+		s.surUpdate(stalled)
+	}
 
 	// Traces. On the fast path only a window-ending cycle can be a record
 	// cycle (the window length is clamped to the next one), so the stride
@@ -795,6 +826,64 @@ func (s *Sim) Step() {
 	}
 	if s.rec != nil && cycle%s.recEvery == 0 {
 		s.recordTrace(chip)
+	}
+}
+
+// sampleDTM runs the DTM manager, frequency scaling and hierarchy
+// sampling for one (non-stalled) cycle. Policies observe the (possibly
+// non-ideal, possibly partial) sensors. Manager state only changes on
+// sample boundaries (StepActuation early-returns off-boundary with the
+// actuation unchanged and the core setters are idempotent), so the whole
+// block — including the sensor reads — runs only on boundaries. When a
+// hierarchy also drives the duty, the per-cycle re-assert is kept. Called
+// from both the cycle-exact Step and the surrogate replay path (whose
+// windows are clamped to end exactly on sample boundaries).
+func (s *Sim) sampleDTM(cycle uint64) {
+	if s.mgr != nil &&
+		(s.hasHier || (s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0)) {
+		obs := s.temps
+		if s.monitor != nil {
+			s.sensed = s.sensed[:0]
+			for _, i := range s.monitor {
+				s.sensed = append(s.sensed, s.cfg.Sensor.Read(s.temps[i]))
+			}
+			obs = s.sensed
+		} else if s.hasSensor {
+			s.sensed = s.sensed[:len(s.temps)]
+			for i, t := range s.temps {
+				s.sensed[i] = s.cfg.Sensor.Read(t)
+			}
+			obs = s.sensed
+		}
+		a, stall := s.mgr.StepActuation(cycle, obs)
+		if a.FetchDuty != s.duty {
+			s.duty = a.FetchDuty
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.core.SetFetchLimit(a.FetchLimit)
+		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
+		s.stallLeft += stall
+		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
+			s.countDTMSample()
+		}
+	}
+	if s.hasScaling && cycle%dtm.DefaultSampleInterval == 0 {
+		f, stall := s.cfg.Scaling.Sample(s.temps)
+		s.freqFactor = f
+		s.stallLeft += stall
+	}
+	if s.hasHier && cycle%dtm.DefaultSampleInterval == 0 {
+		d, f, stall := s.cfg.Hierarchy.SampleHierarchy(s.temps)
+		d = control.Quantize(d, 8)
+		if d != s.duty {
+			s.duty = d
+			s.core.SetFetchDuty(s.duty)
+		}
+		s.freqFactor = f
+		s.stallLeft += stall
+		if s.hasMetrics {
+			s.countDTMSample()
+		}
 	}
 }
 
@@ -1115,9 +1204,9 @@ func (s *Sim) Finish() *Result {
 	}
 	st := s.core.Stats()
 	res.Cycles = s.cycle
-	res.Insts = st.Committed
+	res.Insts = st.Committed + s.virtInsts
 	if s.cycle > 0 {
-		res.IPC = float64(st.Committed) / float64(s.cycle)
+		res.IPC = float64(res.Insts) / float64(s.cycle)
 		res.AvgDuty = s.dutySum / float64(s.cycle)
 	}
 	res.AvgChipPower = s.chipPower.Mean()
@@ -1136,11 +1225,14 @@ func (s *Sim) Finish() *Result {
 	return res
 }
 
-// ctxCheckMask gates how often the run loop polls its context and yields
-// the processor: every 1024 cycles (~0.4ms of work), so both cancellation
-// latency and the serving plane's scheduling latency stay in the
-// sub-millisecond range while the per-check cost stays well under 0.1%.
-const ctxCheckMask = 1<<10 - 1
+// ctxCheckInterval gates how often the run loop polls its context and
+// yields the processor: every 1024 cycles (~0.4ms of work), so both
+// cancellation latency and the serving plane's scheduling latency stay in
+// the sub-millisecond range while the per-check cost stays well under
+// 0.1%. The loop compares against a moving threshold rather than masking
+// the cycle count because surrogate replay advances many cycles per Step
+// and can jump over any fixed alignment.
+const ctxCheckInterval = 1 << 10
 
 // Run steps the simulation to completion, polling ctx every few thousand
 // cycles; on cancellation it returns the context error and a nil result.
@@ -1153,9 +1245,11 @@ const ctxCheckMask = 1<<10 - 1
 // under 0.1% and never changes the simulated trajectory.
 func (s *Sim) Run(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
+	check := uint64(ctxCheckInterval)
 	for !s.Done() {
 		s.Step()
-		if s.cycle&ctxCheckMask == 0 {
+		if s.cycle >= check {
+			check = s.cycle + ctxCheckInterval
 			if done != nil {
 				select {
 				case <-done:

@@ -1,0 +1,13 @@
+//go:build !race
+
+package sim_test
+
+// Without the race detector the full A/B matrices fit comfortably in
+// the package budget; see surrogate_race_test.go for the race-mode
+// subset.
+const raceDetector = false
+
+var (
+	surRaceWorkloads map[string]bool // nil: run every benchmark
+	surRacePolicies  map[string]bool // nil: run every policy
+)

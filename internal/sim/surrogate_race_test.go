@@ -1,0 +1,25 @@
+//go:build race
+
+package sim_test
+
+// Under the race detector the cycle loop runs ~15x slower, so the full
+// 18-benchmark x 13-policy surrogate A/B sweep would blow the package
+// timeout on a single-CPU host. The race run's job is to catch data
+// races on the surrogate code paths, not to re-verify the accuracy
+// bounds, so it keeps one exemplar of each engagement regime; the full
+// matrices run in CI's dedicated non-race surrogate gate.
+const raceDetector = true
+
+// surRaceWorkloads: steady high replay (gzip), position-driven ramp
+// refusal (wupwise), stationarity-audit refusal (perlbmk), bursty
+// emergencies (art).
+var surRaceWorkloads = map[string]bool{
+	"gzip": true, "wupwise": true, "perlbmk": true, "art": true,
+}
+
+// surRacePolicies: unmanaged, PI duty cycling (the paper's headline),
+// bang-bang toggling (frequent operating-point changes), and frequency
+// scaling (replay must break on scaling events).
+var surRacePolicies = map[string]bool{
+	"none": true, "PI": true, "toggle2": true, "fscale": true,
+}
