@@ -16,8 +16,10 @@ import (
 	"repro/internal/dtm"
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/packstore"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/thermal"
@@ -670,4 +672,96 @@ func BenchmarkAblationLeakage(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkResultStore compares the two persistent cache backends at the
+// small-object regime the run cache lives in (a few hundred JSON bytes
+// per entry): one-file-per-entry flat store vs the append-only
+// pack-volume store. get lanes run against a pre-populated 10^5-entry
+// store; rebuild times the pack store's cold-start needle-index scan
+// over the same population. cmd/benchrec records the 10^6-entry numbers
+// into BENCH_runner.json.
+func BenchmarkResultStore(b *testing.B) {
+	payload := []byte(`{"name":"gcc/PI","ipc":0.8732,"cycles":2290432,` +
+		`"avg_power":42.17,"max_temp":111.84,"emergency_cycles":18320,` +
+		`"temps":[110.2,109.7,108.9,111.1,107.3,109.9,110.6,108.1,109.2,` +
+		`110.8,107.9,108.8,110.0]}`)
+	key := func(i int) string { return fmt.Sprintf("bench%059d", i) }
+	const population = 100_000
+
+	type blobStore interface {
+		Get(key string) ([]byte, error)
+		Put(key string, data []byte) error
+	}
+	openFlat := func(b *testing.B, dir string) blobStore {
+		s, err := runner.NewFlatStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	openPack := func(b *testing.B, dir string) blobStore {
+		s, err := packstore.Open(dir, packstore.Options{NoAutoCompact: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		return s
+	}
+	populate := func(b *testing.B, s blobStore) {
+		for i := 0; i < population; i++ {
+			if err := s.Put(key(i), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	for _, backend := range []struct {
+		name string
+		open func(*testing.B, string) blobStore
+	}{
+		{"flat", openFlat},
+		{"pack", openPack},
+	} {
+		b.Run(backend.name+"/put", func(b *testing.B) {
+			s := backend.open(b, b.TempDir())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Put(key(i), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(backend.name+"/get", func(b *testing.B) {
+			s := backend.open(b, b.TempDir())
+			populate(b, s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Get(key(i % population)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("pack/rebuild", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := packstore.Open(dir, packstore.Options{NoAutoCompact: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		populate(b, s)
+		s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := packstore.Open(dir, packstore.Options{NoAutoCompact: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Len() != population {
+				b.Fatalf("rebuild lost entries: %d", s.Len())
+			}
+			s.Close()
+		}
+	})
 }

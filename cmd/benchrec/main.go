@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtm"
 	"repro/internal/experiments"
+	"repro/internal/packstore"
 	"repro/internal/power"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -61,12 +63,37 @@ type CacheStats struct {
 	StoredBytes       int64   `json:"stored_bytes"`
 }
 
+// StoreOpStats is one persistent-backend measurement: sequential puts,
+// then uniformly sampled gets with a p99 from per-op timings.
+type StoreOpStats struct {
+	Entries      int     `json:"entries"`
+	PutOpsPerSec float64 `json:"put_ops_per_sec"`
+	GetOpsPerSec float64 `json:"get_ops_per_sec"`
+	GetP99Micros float64 `json:"get_p99_micros"`
+}
+
+// StoreStats compares the flat one-file-per-entry store against the
+// pack-volume store at the run cache's small-object regime, plus the
+// pack store's cold-start needle-index rebuild over the full
+// population. Flat may be measured over a capped subset (its per-op
+// cost is entry-count-independent; a million file creates is not).
+type StoreStats struct {
+	PayloadBytes         int          `json:"payload_bytes"`
+	Flat                 StoreOpStats `json:"flat"`
+	Pack                 StoreOpStats `json:"pack"`
+	PackRebuildSeconds   float64      `json:"pack_cold_rebuild_seconds"`
+	PackVolumes          int64        `json:"pack_volumes"`
+	SpeedupPutPackVsFlat float64      `json:"speedup_put_pack_vs_flat"`
+	SpeedupGetPackVsFlat float64      `json:"speedup_get_pack_vs_flat"`
+}
+
 // Report is the BENCH_runner.json schema. v2 added the macro-stepped
 // fast path (dtm_pi measures it; dtm_pi_euler keeps the per-cycle Euler
 // baseline) and the run-cache cold/warm measurement. v3 normalizes
 // hot-loop cost by simulated cycles rather than Step calls (a surrogate
 // Step replays a whole thermal window) and adds the surrogate suite
-// comparison.
+// comparison. v4 adds the result-store section (pack vs flat backend;
+// refresh it alone with -only store).
 type Report struct {
 	Schema     string                `json:"schema"`
 	Date       string                `json:"date"`
@@ -81,6 +108,7 @@ type Report struct {
 	// time for the same batch; bounded by available cores.
 	SpeedupParallelVsSerial float64     `json:"speedup_parallel_vs_serial"`
 	RunCache                *CacheStats `json:"run_cache,omitempty"`
+	ResultStore             *StoreStats `json:"result_store,omitempty"`
 	Notes                   string      `json:"notes,omitempty"`
 	// SeedReference preserves the pre-engine numbers for comparison.
 	SeedReference map[string]any `json:"seed_reference,omitempty"`
@@ -280,18 +308,174 @@ func measureCache(insts uint64) (CacheStats, error) {
 	return st, nil
 }
 
+// storePayload is a representative cached run result (a few hundred
+// JSON bytes) for the store comparison.
+var storePayload = []byte(`{"name":"gcc/PI","ipc":0.8732,"cycles":2290432,` +
+	`"avg_power":42.17,"max_temp":111.84,"emergency_cycles":18320,` +
+	`"temps":[110.2,109.7,108.9,111.1,107.3,109.9,110.6,108.1,109.2,` +
+	`110.8,107.9,108.8,110.0]}`)
+
+func storeKey(i int) string { return fmt.Sprintf("bench%059d", i) }
+
+// measureBlobStore populates one backend with n entries and times puts,
+// then getSamples uniformly striding gets with per-op p99.
+func measureBlobStore(s runner.BlobStore, n int) (StoreOpStats, error) {
+	st := StoreOpStats{Entries: n}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := s.Put(storeKey(i), storePayload); err != nil {
+			return st, err
+		}
+	}
+	st.PutOpsPerSec = float64(n) / time.Since(start).Seconds()
+
+	samples := n
+	if samples > 200_000 {
+		samples = 200_000
+	}
+	lat := make([]time.Duration, samples)
+	// Deterministic non-sequential key order: a fixed odd stride visits
+	// every residue, approximating random access without an RNG in the
+	// timing loop.
+	const stride = 1_000_003
+	start = time.Now()
+	for i := 0; i < samples; i++ {
+		t0 := time.Now()
+		if _, err := s.Get(storeKey(i * stride % n)); err != nil {
+			return st, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	st.GetOpsPerSec = float64(samples) / time.Since(start).Seconds()
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	st.GetP99Micros = float64(lat[samples*99/100].Microseconds())
+	return st, nil
+}
+
+// measureStore runs the pack-vs-flat backend comparison. flatN caps the
+// flat store's population (per-op cost does not depend on entry count;
+// the cap keeps a million-entry run from spending minutes on file
+// creates), while the pack store carries the full n including the
+// cold-start rebuild scan.
+func measureStore(n, flatN int) (StoreStats, error) {
+	st := StoreStats{PayloadBytes: len(storePayload)}
+
+	flatDir, err := os.MkdirTemp("", "benchrec-flat-*")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(flatDir)
+	flat, err := runner.NewFlatStore(flatDir)
+	if err != nil {
+		return st, err
+	}
+	if st.Flat, err = measureBlobStore(flat, flatN); err != nil {
+		return st, err
+	}
+
+	packDir, err := os.MkdirTemp("", "benchrec-pack-*")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(packDir)
+	pack, err := packstore.Open(packDir, packstore.Options{NoAutoCompact: true})
+	if err != nil {
+		return st, err
+	}
+	if st.Pack, err = measureBlobStore(pack, n); err != nil {
+		return st, err
+	}
+	if err := pack.Close(); err != nil {
+		return st, err
+	}
+
+	start := time.Now()
+	pack2, err := packstore.Open(packDir, packstore.Options{NoAutoCompact: true})
+	if err != nil {
+		return st, err
+	}
+	st.PackRebuildSeconds = time.Since(start).Seconds()
+	if pack2.Len() != n {
+		return st, fmt.Errorf("benchrec: rebuild lost entries: %d of %d", pack2.Len(), n)
+	}
+	st.PackVolumes = int64(pack2.Stats().Volumes)
+	pack2.Close()
+
+	st.SpeedupPutPackVsFlat = st.Pack.PutOpsPerSec / st.Flat.PutOpsPerSec
+	st.SpeedupGetPackVsFlat = st.Pack.GetOpsPerSec / st.Flat.GetOpsPerSec
+	return st, nil
+}
+
+// loadReport reads an existing BENCH_runner.json so a single section can
+// be refreshed in place.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(buf, &rep)
+	return rep, err
+}
+
+func writeReport(path string, rep Report) {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_runner.json", "output JSON path")
-		insts      = flag.Uint64("insts", 200_000, "instructions per baseline run")
-		cycles     = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
-		suiteInsts = flag.Uint64("suite-insts", 8_000_000, "instructions per suite surrogate-comparison run")
-		suitePol   = flag.String("suite-policy", "none", "DTM policy for the suite surrogate comparison")
+		out          = flag.String("out", "BENCH_runner.json", "output JSON path")
+		insts        = flag.Uint64("insts", 200_000, "instructions per baseline run")
+		cycles       = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
+		suiteInsts   = flag.Uint64("suite-insts", 8_000_000, "instructions per suite surrogate-comparison run")
+		suitePol     = flag.String("suite-policy", "none", "DTM policy for the suite surrogate comparison")
+		only         = flag.String("only", "", "refresh a single section in the existing -out file: store")
+		storeEntries = flag.Int("store-entries", 100_000, "entries for the result-store comparison")
+		storeFlatCap = flag.Int("store-flat-entries", 0, "flat-store population cap (0 = min(store-entries, 200000))")
 	)
 	flag.Parse()
 
+	flatN := *storeFlatCap
+	if flatN <= 0 {
+		flatN = *storeEntries
+		if flatN > 200_000 {
+			flatN = 200_000
+		}
+	}
+
+	if *only == "store" {
+		rep, err := loadReport(*out)
+		if err != nil {
+			fatal(fmt.Errorf("benchrec: -only store refreshes an existing report: %w", err))
+		}
+		store, err := measureStore(*storeEntries, flatN)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Schema = "repro/bench_runner/v4"
+		rep.ResultStore = &store
+		writeReport(*out, rep)
+		fmt.Fprintf(os.Stderr,
+			"result store (%d entries): pack put %.0f/s get %.0f/s (p99 %.0fus), flat put %.0f/s get %.0f/s (p99 %.0fus), %.1fx/%.1fx, rebuild %.3fs over %d volumes\n",
+			*storeEntries, store.Pack.PutOpsPerSec, store.Pack.GetOpsPerSec, store.Pack.GetP99Micros,
+			store.Flat.PutOpsPerSec, store.Flat.GetOpsPerSec, store.Flat.GetP99Micros,
+			store.SpeedupPutPackVsFlat, store.SpeedupGetPackVsFlat,
+			store.PackRebuildSeconds, store.PackVolumes)
+		return
+	}
+	if *only != "" {
+		fatal(fmt.Errorf("benchrec: unknown -only section %q", *only))
+	}
+
 	rep := Report{
-		Schema:     "repro/bench_runner/v3",
+		Schema:     "repro/bench_runner/v4",
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -354,6 +538,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "run cache: cold %.2fs warm %.2fs (%.0fx, %d hits)\n",
 		cacheStats.ColdSeconds, cacheStats.WarmSeconds,
 		cacheStats.SpeedupWarmVsCold, cacheStats.Hits)
+	store, err := measureStore(*storeEntries, flatN)
+	if err != nil {
+		fatal(err)
+	}
+	rep.ResultStore = &store
+	fmt.Fprintf(os.Stderr, "result store (%d entries): pack %.1fx put / %.1fx get vs flat, rebuild %.3fs\n",
+		*storeEntries, store.SpeedupPutPackVsFlat, store.SpeedupGetPackVsFlat, store.PackRebuildSeconds)
 	rep.Notes = "dtm_pi measures the macro-stepped thermal fast path " +
 		"(256-cycle windows); dtm_pi_euler pins the per-cycle Euler solve " +
 		"on the same host for a clean before/after. The thermal solve is a " +
@@ -367,14 +558,7 @@ func main() {
 			"jobs, no shared mutable state — see BenchmarkBaselineBatch)."
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
-	}
+	writeReport(*out, rep)
 	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.2fx)\n", *out, rep.SpeedupParallelVsSerial)
 }
 

@@ -67,6 +67,8 @@ type serverConfig struct {
 	drainTimeout time.Duration
 	admission    serving.AdmissionConfig
 	cacheDir     string
+	cachePack    bool           // pack-volume store instead of one file per entry
+	cacheMem     int64          // in-memory cache layer cap in bytes (0 = default)
 	chaos        *serving.Chaos // nil = no fault injection
 }
 
@@ -124,7 +126,11 @@ func newServer(parent context.Context, cfg serverConfig, logf func(format string
 		batches: map[int]*batchState{},
 	}
 	if cfg.cacheDir != "" {
-		cache, err := runner.NewCache[*sim.Result](cfg.cacheDir, telemetry.NewCacheMetrics(reg))
+		cache, err := runner.NewCacheWith[*sim.Result](runner.CacheConfig{
+			Dir:      cfg.cacheDir,
+			Pack:     cfg.cachePack,
+			MemBytes: cfg.cacheMem,
+		}, telemetry.NewCacheMetrics(reg))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -153,6 +159,8 @@ func main() {
 		workers      = flag.String("workers", "", "worker mode: parallel simulations per batch (a number; empty or 0 = GOMAXPROCS). coordinator mode: comma-separated worker base URLs")
 		maxBatches   = flag.Int("max-batches", 2, "concurrent /batch jobs admitted; overflow sheds with 429")
 		cacheDir     = flag.String("cache-dir", "", "persist /run results under this directory and replay identical requests (hit/miss counters on /metrics)")
+		cachePack    = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
+		cacheMemMiB  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
 		maxInFlight  = flag.Int("max-inflight", 0, "concurrent /run simulations admitted (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("queue", 8, "requests allowed to wait for a slot; overflow sheds with 429")
 		queueWait    = flag.Duration("queue-wait", 250*time.Millisecond, "longest a queued request may wait before being shed")
@@ -211,6 +219,8 @@ func main() {
 		runTimeout:   *runTimeout,
 		drainTimeout: *drainTimeout,
 		cacheDir:     *cacheDir,
+		cachePack:    *cachePack,
+		cacheMem:     memBytes(*cacheMemMiB),
 		admission: serving.AdmissionConfig{
 			MaxInFlight: *maxInFlight,
 			MaxQueue:    *maxQueue,
@@ -244,6 +254,9 @@ func main() {
 			s.logf("http shutdown: %v", err)
 		}
 		if s.drain.Shutdown(*drainTimeout) {
+			if err := s.cache.Close(); err != nil {
+				s.logf("cache close: %v", err)
+			}
 			s.logf("drained, shut down")
 		} else {
 			s.logf("drain timed out after %s with batches still running", *drainTimeout)
@@ -253,6 +266,15 @@ func main() {
 		s.logf("%v", err)
 		os.Exit(1)
 	}
+}
+
+// memBytes converts the -cache-mem MiB flag to the CacheConfig.MemBytes
+// convention: 0 keeps the default cap, negative means unlimited.
+func memBytes(mib int64) int64 {
+	if mib <= 0 {
+		return mib
+	}
+	return mib << 20
 }
 
 // runCoordinator boots the cluster coordinator: the same HTTP surface,

@@ -38,6 +38,8 @@ func main() {
 		trace     = flag.String("trace", "", "write JSONL telemetry samples to this file")
 		metrics   = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
 		cacheDir  = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
+		cachePack = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
+		cacheMem  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -123,10 +125,19 @@ func main() {
 		if sinks.Registry != nil {
 			cm = telemetry.NewCacheMetrics(sinks.Registry)
 		}
-		cache, err = runner.NewCache[*sim.Result](*cacheDir, cm)
+		memBytes := *cacheMem
+		if memBytes > 0 {
+			memBytes <<= 20
+		}
+		cache, err = runner.NewCacheWith[*sim.Result](runner.CacheConfig{
+			Dir:      *cacheDir,
+			Pack:     *cachePack,
+			MemBytes: memBytes,
+		}, cm)
 		if err != nil {
 			fatal(err)
 		}
+		defer cache.Close()
 	}
 	// cached wraps one point's job in a run-cache lookup. Instrumented runs
 	// (live -trace/-metrics sinks) are rejected by sim.CacheKey and always

@@ -30,13 +30,15 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table number to regenerate (0 = all)")
-		insts    = flag.Uint64("insts", 2_000_000, "committed instructions per run")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", true, "report per-run batch progress on stderr")
-		trace    = flag.String("trace", "", "write JSONL telemetry samples to this file (\"-\" = stdout)")
-		metrics  = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
-		cacheDir = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
+		table     = flag.Int("table", 0, "table number to regenerate (0 = all)")
+		insts     = flag.Uint64("insts", 2_000_000, "committed instructions per run")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", true, "report per-run batch progress on stderr")
+		trace     = flag.String("trace", "", "write JSONL telemetry samples to this file (\"-\" = stdout)")
+		metrics   = flag.String("metrics", "", "write a final Prometheus-text metrics dump to this file (\"-\" = stderr)")
+		cacheDir  = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
+		cachePack = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
+		cacheMem  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -60,11 +62,20 @@ func main() {
 		if sinks.Registry != nil {
 			cm = telemetry.NewCacheMetrics(sinks.Registry)
 		}
-		p.Cache, err = runner.NewCache[*sim.Result](*cacheDir, cm)
+		memBytes := *cacheMem
+		if memBytes > 0 {
+			memBytes <<= 20
+		}
+		p.Cache, err = runner.NewCacheWith[*sim.Result](runner.CacheConfig{
+			Dir:      *cacheDir,
+			Pack:     *cachePack,
+			MemBytes: memBytes,
+		}, cm)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		defer p.Cache.Close()
 	}
 	if *progress {
 		p.Progress = func(pr runner.Progress) {

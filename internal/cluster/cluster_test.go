@@ -16,6 +16,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -447,5 +448,83 @@ func TestClusterRunBadParams(t *testing.T) {
 		if status, _, body := get(t, hs.URL+q); status != http.StatusBadRequest {
 			t.Errorf("%s: status %d (%s), want 400", q, status, body)
 		}
+	}
+}
+
+// TestClusterHedgeInflightBalanced is the regression test for the hedge
+// inflight leak: a hedged attempt acquired a slot without an inflight
+// increment, so send's deferred release drove the hedge target's count
+// negative — and Pool.Route's least-loaded fallback then favored the
+// "emptiest" worker for the wrong reason. Under concurrent hedged
+// exchanges, no worker's inflight may ever go negative, and every
+// worker must be back at exactly 0 once the dust settles.
+func TestClusterHedgeInflightBalanced(t *testing.T) {
+	workers, urls := newFleet(t, 2, false)
+	s, _ := newCoordinator(t, urls, func(c *Config) {
+		c.Dispatch.Retries = 0
+		c.Dispatch.HedgeAfter = 20 * time.Millisecond
+	})
+
+	// Make the key's rendezvous owner a straggler so every exchange hedges.
+	key := specKey(t, "gcc", "PI", 10_000)
+	owner := s.Pool().Owner(key)
+	for i, u := range urls {
+		if u == owner.URL {
+			workers[i].delayMs.Store(500)
+		}
+	}
+
+	// Sample every worker's inflight while the exchanges are in flight:
+	// the leak shows up as a transient negative long before the final
+	// quiescent check.
+	var sawNegative atomic.Bool
+	stop := make(chan struct{})
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, w := range s.Pool().Workers() {
+				if w.inflight.Load() < 0 {
+					sawNegative.Store(true)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Dispatcher().Do(context.Background(), key, "/run?bench=gcc&policy=PI&insts=10000")
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if resp.Status != http.StatusOK {
+				t.Errorf("status %d: %s", resp.Status, resp.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-monitorDone
+
+	if sawNegative.Load() {
+		t.Error("a worker's inflight count went negative during hedged dispatches")
+	}
+	for _, w := range s.Pool().Workers() {
+		if n := w.inflight.Load(); n != 0 {
+			t.Errorf("worker %s inflight = %d after all exchanges settled, want 0", w.URL, n)
+		}
+	}
+	if s.Metrics().Hedges.Value() == 0 {
+		t.Error("no hedges fired: the test did not exercise the hedge path")
 	}
 }

@@ -346,8 +346,16 @@ func (d *Dispatcher) noteRetry(failed *Worker) {
 	}
 }
 
+// noteHedge is the hedged-attempt bookkeeping. Like noteDispatch it must
+// pair the slot acquire with an inflight increment — send's deferred
+// release decrements unconditionally, so skipping the increment here
+// would drift the hedge target's inflight gauge negative and bias
+// Pool.Route's least-loaded fallback toward it. Hedges are counted
+// separately and deliberately not added to Dispatched.
 func (d *Dispatcher) noteHedge(w *Worker) {
+	n := w.inflight.Add(1)
 	if w.metrics != nil {
+		w.metrics.InFlight.Set(float64(n))
 		w.metrics.Hedged.Inc()
 	}
 	if d.metrics != nil {

@@ -3,18 +3,21 @@ package runner
 // Content-addressed run cache: batch engines use it to skip simulations
 // whose exact configuration has already been executed. The cache stores
 // the JSON encoding of the result under a caller-supplied key (usually
-// sim.CacheKey's SHA-256), in memory and optionally on disk. Entries are
-// decoded on every hit so callers always receive a private copy — cached
-// results can be mutated freely without poisoning later hits.
+// sim.CacheKey's SHA-256), in a size-capped in-memory LRU layer and
+// optionally in a persistent store. Entries are decoded on every hit so
+// callers always receive a private copy — cached results can be mutated
+// freely without poisoning later hits.
 //
-// The disk layer is crash-safe and self-healing: entries are written to a
-// temp file and renamed into place (readers never observe a torn write),
-// and a corrupted or unreadable entry is deleted and treated as a miss,
-// so the batch recomputes it instead of failing. Transient disk I/O
-// failures are retried with exponential backoff before the cache degrades
-// to a miss (reads) or drops the store (writes); an injectable fault hook
-// (SetFaultHook) lets cmd/serve's chaos mode prove that degradation stays
-// graceful under probabilistic disk failure.
+// The persistent layer is pluggable (BlobStore): the flat store keeps
+// one JSON file per entry, the pack store (internal/packstore) appends
+// CRC-checked needles into bounded pack volumes — the right choice at
+// millions of small entries. Both are crash-safe and self-healing: a
+// corrupted or unreadable entry is dropped and treated as a miss, so the
+// batch recomputes it instead of failing. Transient disk I/O failures
+// are retried with exponential backoff before the cache degrades to a
+// miss (reads) or drops the store (writes); an injectable per-op fault
+// hook (SetFaultHook) lets cmd/serve's chaos mode prove that degradation
+// stays graceful under probabilistic disk failure.
 
 import (
 	"context"
@@ -27,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/packstore"
 	"repro/internal/telemetry"
 )
 
@@ -37,28 +41,78 @@ const diskAttempts = 3
 
 var retryBackoff = 2 * time.Millisecond
 
+// DefaultMemBytes caps the in-memory layer when CacheConfig.MemBytes is
+// zero. Entries are a few hundred bytes of JSON each, so this holds the
+// full 18×13 scenario matrix many times over while keeping a
+// million-entry disk store from pulling the whole volume into RAM.
+const DefaultMemBytes = 256 << 20
+
+// BlobStore is the persistent layer behind Cache: an opaque key→bytes
+// map. Get returns fs.ErrNotExist for a missing (or quarantined) entry —
+// that is a plain miss, never retried. Implementations inject their own
+// per-op faults ("read", "write", "rename") via SetFaultHook.
+type BlobStore interface {
+	Get(key string) ([]byte, error)
+	Put(key string, data []byte) error
+	Delete(key string) error
+	SetFaultHook(f func(op string) error)
+	Close() error
+}
+
+// CacheConfig selects and sizes the cache layers.
+type CacheConfig struct {
+	// Dir is the persistent store directory; empty means memory-only.
+	Dir string
+	// Pack selects the pack-volume store instead of one file per entry.
+	Pack bool
+	// MemBytes caps the in-memory LRU layer: 0 means DefaultMemBytes,
+	// negative means unlimited.
+	MemBytes int64
+}
+
 // Cache memoizes results of type R by content-hash key. A nil *Cache is
 // valid and never hits, so call sites need no conditionals. All methods
 // are safe for concurrent use by a worker pool.
 type Cache[R any] struct {
 	mu      sync.Mutex
-	mem     map[string][]byte
-	dir     string
+	mem     *lruCache
+	store   BlobStore // nil = memory-only
 	metrics *telemetry.CacheMetrics
-	faults  func(op string) error // nil = no fault injection
 }
 
-// NewCache returns a run cache. dir, when non-empty, adds a persistent
-// on-disk layer (created if missing); entries there survive across
-// processes and warm the in-memory layer on first hit. metrics, when
-// non-nil, receives hit/miss/store/byte counters.
+// NewCache returns a run cache over the flat-file store. dir, when
+// non-empty, adds a persistent on-disk layer (created if missing);
+// entries there survive across processes and warm the in-memory layer
+// on first hit. metrics, when non-nil, receives hit/miss/store/byte
+// counters.
 func NewCache[R any](dir string, metrics *telemetry.CacheMetrics) (*Cache[R], error) {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("runner: cache dir: %w", err)
-		}
+	return NewCacheWith[R](CacheConfig{Dir: dir}, metrics)
+}
+
+// NewCacheWith returns a run cache with an explicit layer configuration.
+func NewCacheWith[R any](cfg CacheConfig, metrics *telemetry.CacheMetrics) (*Cache[R], error) {
+	memBytes := cfg.MemBytes
+	if memBytes == 0 {
+		memBytes = DefaultMemBytes
 	}
-	return &Cache[R]{mem: make(map[string][]byte), dir: dir, metrics: metrics}, nil
+	c := &Cache[R]{mem: newLRUCache(memBytes), metrics: metrics}
+	if cfg.Dir == "" {
+		return c, nil
+	}
+	if cfg.Pack {
+		s, err := packstore.Open(cfg.Dir, packstore.Options{Metrics: metrics})
+		if err != nil {
+			return nil, fmt.Errorf("runner: cache: %w", err)
+		}
+		c.store = s
+	} else {
+		s, err := NewFlatStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.store = s
+	}
+	return c, nil
 }
 
 // SetFaultHook installs a fault injector called before every disk
@@ -67,26 +121,30 @@ func NewCache[R any](dir string, metrics *telemetry.CacheMetrics) (*Cache[R], er
 // chaos testing; nil disables injection. Not safe to call concurrently
 // with cache use.
 func (c *Cache[R]) SetFaultHook(f func(op string) error) {
-	if c != nil {
-		c.faults = f
+	if c != nil && c.store != nil {
+		c.store.SetFaultHook(f)
 	}
+}
+
+// Close releases the persistent layer (waits for pack compaction to
+// settle). Nil-safe; memory-only caches have nothing to release.
+func (c *Cache[R]) Close() error {
+	if c == nil || c.store == nil {
+		return nil
+	}
+	return c.store.Close()
 }
 
 // withRetry runs op up to diskAttempts times with exponential backoff,
 // counting retries and terminal failures in the metrics bundle. A
 // fs.ErrNotExist from op is returned immediately: a missing entry is a
 // plain miss, not a transient fault.
-func (c *Cache[R]) withRetry(name string, op func() error) error {
+func (c *Cache[R]) withRetry(op func() error) error {
 	var err error
 	for attempt := 0; attempt < diskAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(ExpBackoff(attempt-1, retryBackoff, 0))
 			c.count(func(m *telemetry.CacheMetrics) { m.DiskRetries.Inc() })
-		}
-		if c.faults != nil {
-			if err = c.faults(name); err != nil {
-				continue
-			}
 		}
 		if err = op(); err == nil || errors.Is(err, fs.ErrNotExist) {
 			return err
@@ -96,60 +154,6 @@ func (c *Cache[R]) withRetry(name string, op func() error) error {
 	return err
 }
 
-// readDisk loads one entry file with retry.
-func (c *Cache[R]) readDisk(p string) ([]byte, error) {
-	var data []byte
-	err := c.withRetry("read", func() error {
-		b, err := os.ReadFile(p)
-		if err != nil {
-			return err
-		}
-		data = b
-		return nil
-	})
-	return data, err
-}
-
-// writeDisk atomically publishes one entry file (temp + rename) with
-// retry around the whole sequence, so a torn attempt is cleaned up and
-// redone rather than half-kept.
-func (c *Cache[R]) writeDisk(p, key string, data []byte) error {
-	return c.withRetry("write", func() error {
-		tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
-		if err != nil {
-			return err
-		}
-		_, werr := tmp.Write(data)
-		cerr := tmp.Close()
-		if werr != nil || cerr != nil {
-			os.Remove(tmp.Name())
-			if werr != nil {
-				return werr
-			}
-			return cerr
-		}
-		if err := os.Rename(tmp.Name(), p); err != nil {
-			os.Remove(tmp.Name())
-			return err
-		}
-		return nil
-	})
-}
-
-// path maps a key to its disk entry. Keys are hex digests, but the hash
-// is not trusted to be path-safe: anything outside [0-9a-zA-Z_-] would
-// make the join traversable, so such keys simply never touch disk.
-func (c *Cache[R]) path(key string) string {
-	for _, r := range key {
-		safe := r >= '0' && r <= '9' || r >= 'a' && r <= 'z' ||
-			r >= 'A' && r <= 'Z' || r == '-' || r == '_'
-		if !safe {
-			return ""
-		}
-	}
-	return filepath.Join(c.dir, key+".json")
-}
-
 // Get returns the cached result for key, if present and intact.
 func (c *Cache[R]) Get(key string) (R, bool) {
 	var zero R
@@ -157,14 +161,20 @@ func (c *Cache[R]) Get(key string) (R, bool) {
 		return zero, false
 	}
 	c.mu.Lock()
-	data, ok := c.mem[key]
+	data, ok := c.mem.get(key)
 	c.mu.Unlock()
 	fromDisk := false
-	if !ok && c.dir != "" {
-		if p := c.path(key); p != "" {
-			if b, err := c.readDisk(p); err == nil {
-				data, ok, fromDisk = b, true, true
+	if !ok && c.store != nil {
+		err := c.withRetry(func() error {
+			b, err := c.store.Get(key)
+			if err != nil {
+				return err
 			}
+			data = b
+			return nil
+		})
+		if err == nil {
+			ok, fromDisk = true, true
 		}
 	}
 	if !ok {
@@ -176,20 +186,16 @@ func (c *Cache[R]) Get(key string) (R, bool) {
 		// Corrupted entry (torn write from a crashed process, manual
 		// truncation): drop it everywhere and recompute.
 		c.mu.Lock()
-		delete(c.mem, key)
+		c.mem.remove(key)
 		c.mu.Unlock()
-		if c.dir != "" {
-			if p := c.path(key); p != "" {
-				os.Remove(p)
-			}
+		if c.store != nil {
+			_ = c.store.Delete(key)
 		}
 		c.count(func(m *telemetry.CacheMetrics) { m.Misses.Inc() })
 		return zero, false
 	}
 	if fromDisk {
-		c.mu.Lock()
-		c.mem[key] = data
-		c.mu.Unlock()
+		c.storeMem(key, data)
 	}
 	c.count(func(m *telemetry.CacheMetrics) { m.Hits.Inc() })
 	return v, true
@@ -205,24 +211,29 @@ func (c *Cache[R]) Put(key string, v R) {
 	if err != nil {
 		return
 	}
-	c.mu.Lock()
-	c.mem[key] = data
-	c.mu.Unlock()
+	c.storeMem(key, data)
 	c.count(func(m *telemetry.CacheMetrics) {
 		m.Stores.Inc()
 		m.Bytes.Add(int64(len(data)))
 	})
-	if c.dir == "" {
+	if c.store == nil {
 		return
 	}
-	p := c.path(key)
-	if p == "" {
-		return
+	// Atomic publish (temp + rename for the flat store, CRC-framed append
+	// for the pack store) so concurrent readers and future processes only
+	// ever see complete entries. Errors after the retry budget are
+	// swallowed by design — see the function comment.
+	_ = c.withRetry(func() error { return c.store.Put(key, data) })
+}
+
+// storeMem inserts into the LRU layer, counting evictions.
+func (c *Cache[R]) storeMem(key string, data []byte) {
+	c.mu.Lock()
+	evicted := c.mem.put(key, data)
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.count(func(m *telemetry.CacheMetrics) { m.MemEvictions.Add(int64(evicted)) })
 	}
-	// Atomic publish: write-to-temp + rename so concurrent readers (and
-	// future processes) only ever see complete entries. Errors after the
-	// retry budget are swallowed by design — see the function comment.
-	_ = c.writeDisk(p, key, data)
 }
 
 // Len returns the number of in-memory entries.
@@ -232,7 +243,7 @@ func (c *Cache[R]) Len() int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.mem)
+	return c.mem.len()
 }
 
 func (c *Cache[R]) count(f func(*telemetry.CacheMetrics)) {
@@ -240,6 +251,110 @@ func (c *Cache[R]) count(f func(*telemetry.CacheMetrics)) {
 		f(c.metrics)
 	}
 }
+
+// FlatStore is the one-file-per-entry BlobStore: simple, greppable, and
+// fine up to tens of thousands of entries. Entries are written to a temp
+// file and renamed into place, so readers never observe a torn write.
+type FlatStore struct {
+	dir    string
+	faults func(op string) error // nil = no fault injection
+}
+
+// NewFlatStore opens (creating if missing) a flat entry directory.
+func NewFlatStore(dir string) (*FlatStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &FlatStore{dir: dir}, nil
+}
+
+// SetFaultHook installs the per-op fault injector ("read", "write",
+// "rename"). Each op checks the hook separately, so chaos mode can fail
+// the rename stage independently of the temp-file write.
+func (s *FlatStore) SetFaultHook(f func(op string) error) { s.faults = f }
+
+func (s *FlatStore) fault(op string) error {
+	if s.faults == nil {
+		return nil
+	}
+	return s.faults(op)
+}
+
+// path maps a key to its disk entry. Keys are hex digests, but the hash
+// is not trusted to be path-safe: anything outside [0-9a-zA-Z_-] would
+// make the join traversable, so such keys simply never touch disk.
+func (s *FlatStore) path(key string) string {
+	for _, r := range key {
+		safe := r >= '0' && r <= '9' || r >= 'a' && r <= 'z' ||
+			r >= 'A' && r <= 'Z' || r == '-' || r == '_'
+		if !safe {
+			return ""
+		}
+	}
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get loads one entry file.
+func (s *FlatStore) Get(key string) ([]byte, error) {
+	p := s.path(key)
+	if p == "" {
+		return nil, fs.ErrNotExist
+	}
+	if err := s.fault("read"); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// Put atomically publishes one entry file: temp write under the "write"
+// op, then rename under the "rename" op, so each stage is separately
+// fault-injectable.
+func (s *FlatStore) Put(key string, data []byte) error {
+	p := s.path(key)
+	if p == "" {
+		return nil // unsafe key: stays off disk, memory layer still serves it
+	}
+	if err := s.fault("write"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := s.fault("rename"); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Delete removes one entry; a missing entry is not an error.
+func (s *FlatStore) Delete(key string) error {
+	p := s.path(key)
+	if p == "" {
+		return nil
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Close is a no-op: the flat store holds no open handles between ops.
+func (s *FlatStore) Close() error { return nil }
 
 // CachedJob wraps job so its result is served from (and stored into) the
 // cache under key. An empty key, or a nil cache, passes through.

@@ -75,7 +75,10 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 }
 
 // CacheMetrics is the run cache's bundle: lookup outcomes, the volume of
-// stored result payloads, and disk-layer retry/failure counts.
+// stored result payloads, disk-layer retry/failure counts, the bounded
+// memory layer's eviction count, and — when the pack-volume backend is
+// selected — the pack store's shape (volumes, live/dead bytes) and
+// maintenance activity (compactions, CRC-audit quarantines).
 type CacheMetrics struct {
 	Hits        *Counter
 	Misses      *Counter
@@ -83,6 +86,21 @@ type CacheMetrics struct {
 	Bytes       *Counter
 	DiskRetries *Counter
 	DiskErrors  *Counter
+
+	// MemEvictions counts entries evicted from the size-capped in-memory
+	// layer (the entry usually stays serveable from disk).
+	MemEvictions *Counter
+
+	// Pack-store shape: volume count and live vs dead (reclaimable)
+	// bytes across all volumes. Zero when the flat-file backend is used.
+	PackVolumes   *Gauge
+	PackLiveBytes *Gauge
+	PackDeadBytes *Gauge
+
+	// Pack-store maintenance: volumes rewritten by compaction, and
+	// needles quarantined as misses after a CRC mismatch.
+	PackCompactions   *Counter
+	PackAuditFailures *Counter
 }
 
 // NewCacheMetrics registers (or reuses) the run-cache metric family on r.
@@ -94,6 +112,15 @@ func NewCacheMetrics(r *Registry) *CacheMetrics {
 		Bytes:       r.Counter("cache_stored_bytes_total", "Encoded bytes stored into the run cache."),
 		DiskRetries: r.Counter("cache_disk_retries_total", "Disk cache operations retried after a transient I/O failure."),
 		DiskErrors:  r.Counter("cache_disk_errors_total", "Disk cache operations abandoned after exhausting retries."),
+
+		MemEvictions: r.Counter("cache_mem_evictions_total", "Entries evicted from the size-capped in-memory cache layer."),
+
+		PackVolumes:   r.Gauge("cache_pack_volumes", "Pack volumes currently in the result store."),
+		PackLiveBytes: r.Gauge("cache_pack_live_bytes", "Bytes of index-referenced needles across pack volumes."),
+		PackDeadBytes: r.Gauge("cache_pack_dead_bytes", "Bytes of overwritten, deleted or quarantined needles awaiting compaction."),
+
+		PackCompactions:   r.Counter("cache_pack_compactions_total", "Pack volumes rewritten by compaction."),
+		PackAuditFailures: r.Counter("cache_pack_audit_failures_total", "Needles quarantined as misses after a CRC mismatch."),
 	}
 }
 

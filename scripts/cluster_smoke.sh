@@ -23,7 +23,7 @@ C="http://127.0.0.1:${P0}"
 W1="http://127.0.0.1:${P1}"
 W2="http://127.0.0.1:${P2}"
 DIR="$(mktemp -d)"
-trap 'kill -9 "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true; rm -rf "${DIR}"' EXIT
+trap 'kill -9 "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${W3_PID:-}" "${W4_PID:-}" 2>/dev/null || true; rm -rf "${DIR}"' EXIT
 
 go build -o "${DIR}/serve" ./cmd/serve
 go build -o "${DIR}/loadgen" ./cmd/loadgen
@@ -122,4 +122,55 @@ grep -q "drained, shut down" "${DIR}/coord.log" || {
   echo "coordinator log missing drain confirmation"; cat "${DIR}/coord.log"; exit 1; }
 
 kill -INT "${W1_PID}" "${W2_PID}" 2>/dev/null || true
+
+echo "== pack-store backend: fleet on -cache-pack survives SIGKILL mid-batch"
+P3=$((P0 + 3))
+P4=$((P0 + 4))
+W3="http://127.0.0.1:${P3}"
+W4="http://127.0.0.1:${P4}"
+start_pack_worker() { # $1 = port, $2 = log path, $3 = pack dir
+  "${DIR}/serve" -addr "127.0.0.1:$1" -insts 200000 -cache-dir "$3" -cache-pack \
+    -max-inflight 4 -queue 8 -workers 2 -run-timeout 30s >"$2" 2>&1 &
+}
+start_pack_worker "${P3}" "${DIR}/w3.log" "${DIR}/pack1"
+W3_PID=$!
+start_pack_worker "${P4}" "${DIR}/w4.log" "${DIR}/pack2"
+W4_PID=$!
+wait_healthy "${W3}" "pack worker 1"
+wait_healthy "${W4}" "pack worker 2"
+"${DIR}/serve" -coordinator -addr "127.0.0.1:${P0}" -workers "${W3},${W4}" \
+  -insts 200000 -probe-every 200ms -probe-fails 2 -cluster-retries 4 \
+  -retry-backoff 10ms -dispatch-timeout 60s >"${DIR}/coord_pack.log" 2>&1 &
+COORD_PID=$!
+wait_healthy "${C}" "pack coordinator"
+
+# Reference merge with the fleet intact (also warms the pack caches).
+curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/pack_ref.json"
+grep -q '"failed": 0' "${DIR}/pack_ref.json" || {
+  echo "pack reference batch reported failures:";
+  grep -E '"failed"|"errors"' "${DIR}/pack_ref.json"; cat "${DIR}/coord_pack.log"; exit 1; }
+
+curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/pack_kill.json" &
+BATCH_PID=$!
+sleep 1
+kill -9 "${W3_PID}"
+wait "${BATCH_PID}" || { echo "pack batch request failed"; cat "${DIR}/coord_pack.log"; exit 1; }
+grep -q '"failed": 0' "${DIR}/pack_kill.json" || {
+  echo "pack batch reported failures after worker kill:";
+  grep -E '"failed"|"errors"' "${DIR}/pack_kill.json"; cat "${DIR}/coord_pack.log"; exit 1; }
+cmp -s "${DIR}/pack_ref.json" "${DIR}/pack_kill.json" || {
+  echo "pack batch merge not byte-identical after SIGKILL:";
+  diff "${DIR}/pack_ref.json" "${DIR}/pack_kill.json" | head -20; exit 1; }
+echo "pack batch merge byte-identical across SIGKILL"
+
+echo "== killed pack worker restarts on its pack directory (cold index rebuild)"
+ls "${DIR}/pack1"/pack-*.dat >/dev/null 2>&1 || {
+  echo "pack worker wrote no pack volumes"; ls -la "${DIR}/pack1"; exit 1; }
+start_pack_worker "${P3}" "${DIR}/w3b.log" "${DIR}/pack1"
+W3_PID=$!
+wait_healthy "${W3}" "rebuilt pack worker"
+curl -fsS "${W3}/run?bench=gcc&policy=PI&insts=100000" >/dev/null || {
+  echo "rebuilt pack worker cannot serve"; cat "${DIR}/w3b.log"; exit 1; }
+
+kill -INT "${COORD_PID}" "${W3_PID}" "${W4_PID}" 2>/dev/null || true
 echo "cluster smoke OK"
