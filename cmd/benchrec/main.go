@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -87,13 +88,48 @@ type StoreStats struct {
 	SpeedupGetPackVsFlat float64      `json:"speedup_get_pack_vs_flat"`
 }
 
+// GangModeStats is one execution mode of the gang lane: the whole
+// policy suite on one workload, timed end to end.
+type GangModeStats struct {
+	Seconds float64 `json:"seconds"`
+	// NsPerCycleCfg is wall time over total member cycles — the cost of
+	// advancing ONE config by one cycle, the number the gang amortizes.
+	NsPerCycleCfg float64 `json:"ns_per_cycle_per_config"`
+	// Occupancy is members served per shared pipeline evaluation
+	// (solo runs are definitionally 1 and omit it).
+	Occupancy float64 `json:"occupancy,omitempty"`
+	Forks     int     `json:"forks,omitempty"`
+	Merges    int     `json:"merges,omitempty"`
+	Classes   int     `json:"final_classes,omitempty"`
+}
+
+// GangLaneStats compares the full DTM policy suite run solo (pipeline
+// surrogate on) against the same configs as one gang per workload — in
+// exact mode (byte-identical results) and with the shared calibration
+// bank (surrogate-accuracy results) — aggregated across the measured
+// workloads. Aggregation matters: on cool workloads the policies never
+// diverge and a whole gang rides one class, while on the hottest
+// workloads every controller forks off early and the gang degrades
+// toward solo cost, so the suite-level number is the honest one.
+type GangLaneStats struct {
+	Benchmarks          []string      `json:"benchmarks"`
+	InstsPerRun         uint64        `json:"insts_per_run"`
+	Policies            int           `json:"policies"`
+	Solo                GangModeStats `json:"solo_surrogate"`
+	Gang                GangModeStats `json:"gang"`
+	GangSharedCal       GangModeStats `json:"gang_shared_calibration"`
+	SpeedupGangVsSolo   float64       `json:"speedup_gang_vs_solo"`
+	SpeedupSharedVsSolo float64       `json:"speedup_shared_cal_vs_solo"`
+}
+
 // Report is the BENCH_runner.json schema. v2 added the macro-stepped
 // fast path (dtm_pi measures it; dtm_pi_euler keeps the per-cycle Euler
 // baseline) and the run-cache cold/warm measurement. v3 normalizes
 // hot-loop cost by simulated cycles rather than Step calls (a surrogate
 // Step replays a whole thermal window) and adds the surrogate suite
 // comparison. v4 adds the result-store section (pack vs flat backend;
-// refresh it alone with -only store).
+// refresh it alone with -only store). v5 adds the gang-execution lane
+// (policy suite solo vs ganged; refresh with -only gang).
 type Report struct {
 	Schema     string                `json:"schema"`
 	Date       string                `json:"date"`
@@ -102,8 +138,10 @@ type Report struct {
 	HotLoop    map[string]CycleStats `json:"hot_loop"`
 	// Suite is the full-suite cycle-exact vs pipeline-surrogate
 	// comparison (see SuiteStats).
-	Suite   *SuiteStats  `json:"surrogate_suite,omitempty"`
-	Batches []BatchStats `json:"baseline_batches"`
+	Suite *SuiteStats `json:"surrogate_suite,omitempty"`
+	// Gang is the gang-execution lane (see GangLaneStats).
+	Gang    *GangLaneStats `json:"gang,omitempty"`
+	Batches []BatchStats   `json:"baseline_batches"`
 	// SpeedupParallelVsSerial is parallel wall time over serial wall
 	// time for the same batch; bounded by available cores.
 	SpeedupParallelVsSerial float64     `json:"speedup_parallel_vs_serial"`
@@ -242,6 +280,85 @@ func measureSuite(policy string, insts uint64) (SuiteStats, error) {
 	st.SurNsPerCyc = st.SurSeconds * 1e9 / float64(surCycles)
 	st.SpeedupNsPerCycle = st.ExactNsPerCyc / st.SurNsPerCyc
 	st.ReplayFrac = float64(replayed) / float64(surCycles)
+	return st, nil
+}
+
+// measureGang times the policy suite on the given workloads three ways:
+// solo surrogate runs, one gang per workload in exact mode, and one
+// gang per workload with the shared calibration bank, all aggregated
+// into one suite-level comparison.
+func measureGang(benchNames []string, insts uint64) (GangLaneStats, error) {
+	policies := core.Policies()
+	st := GangLaneStats{Benchmarks: benchNames, InstsPerRun: insts, Policies: len(policies)}
+	mkCfgs := func(benchName string) ([]sim.Config, error) {
+		cfgs := make([]sim.Config, 0, len(policies))
+		for _, p := range policies {
+			cfg, err := core.NewRun(benchName, p, insts)
+			if err != nil {
+				return nil, err
+			}
+			cfg.PipelineSurrogate = true
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs, nil
+	}
+
+	var soloCycles uint64
+	var memberCycles, classCycles [2]uint64
+	var gangCycles [2]uint64
+	for _, b := range benchNames {
+		cfgs, err := mkCfgs(b)
+		if err != nil {
+			return st, err
+		}
+		start := time.Now()
+		for _, cfg := range cfgs {
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return st, err
+			}
+			soloCycles += res.Cycles
+		}
+		st.Solo.Seconds += time.Since(start).Seconds()
+
+		for mode, shared := range []bool{false, true} {
+			cfgs, err := mkCfgs(b)
+			if err != nil {
+				return st, err
+			}
+			g, err := sim.NewGang(cfgs, sim.GangOptions{ShareCalibration: shared})
+			if err != nil {
+				return st, err
+			}
+			start := time.Now()
+			results, err := g.Run(context.Background())
+			if err != nil {
+				return st, err
+			}
+			wall := time.Since(start).Seconds()
+			for _, r := range results {
+				gangCycles[mode] += r.Cycles
+			}
+			gs := g.Stats()
+			memberCycles[mode] += gs.MemberCycles
+			classCycles[mode] += gs.ClassCycles
+			dst := &st.Gang
+			if shared {
+				dst = &st.GangSharedCal
+			}
+			dst.Seconds += wall
+			dst.Forks += gs.Forks
+			dst.Merges += gs.Merges
+			dst.Classes += gs.Classes
+		}
+	}
+	st.Solo.NsPerCycleCfg = st.Solo.Seconds * 1e9 / float64(soloCycles)
+	for mode, dst := range []*GangModeStats{&st.Gang, &st.GangSharedCal} {
+		dst.NsPerCycleCfg = dst.Seconds * 1e9 / float64(gangCycles[mode])
+		dst.Occupancy = float64(memberCycles[mode]) / float64(classCycles[mode])
+	}
+	st.SpeedupGangVsSolo = st.Solo.NsPerCycleCfg / st.Gang.NsPerCycleCfg
+	st.SpeedupSharedVsSolo = st.Solo.NsPerCycleCfg / st.GangSharedCal.NsPerCycleCfg
 	return st, nil
 }
 
@@ -436,7 +553,9 @@ func main() {
 		cycles       = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
 		suiteInsts   = flag.Uint64("suite-insts", 8_000_000, "instructions per suite surrogate-comparison run")
 		suitePol     = flag.String("suite-policy", "none", "DTM policy for the suite surrogate comparison")
-		only         = flag.String("only", "", "refresh a single section in the existing -out file: store")
+		only         = flag.String("only", "", "refresh a single section in the existing -out file: store | gang")
+		gangBench    = flag.String("gang-bench", "suite", "workloads for the gang-execution lane: \"suite\" or a comma-separated list")
+		gangInsts    = flag.Uint64("gang-insts", 2_000_000, "instructions per run in the gang-execution lane")
 		storeEntries = flag.Int("store-entries", 100_000, "entries for the result-store comparison")
 		storeFlatCap = flag.Int("store-flat-entries", 0, "flat-store population cap (0 = min(store-entries, 200000))")
 	)
@@ -470,12 +589,27 @@ func main() {
 			store.PackRebuildSeconds, store.PackVolumes)
 		return
 	}
+	if *only == "gang" {
+		rep, err := loadReport(*out)
+		if err != nil {
+			fatal(fmt.Errorf("benchrec: -only gang refreshes an existing report: %w", err))
+		}
+		gang, err := measureGang(gangBenchList(*gangBench), *gangInsts)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Schema = "repro/bench_runner/v5"
+		rep.Gang = &gang
+		writeReport(*out, rep)
+		printGang(gang)
+		return
+	}
 	if *only != "" {
 		fatal(fmt.Errorf("benchrec: unknown -only section %q", *only))
 	}
 
 	rep := Report{
-		Schema:     "repro/bench_runner/v4",
+		Schema:     "repro/bench_runner/v5",
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -514,6 +648,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "suite (%s, %d insts): exact %.1fs (%.0f ns/cyc) surrogate %.1fs (%.0f ns/cyc) %.1fx, replay %.0f%%\n",
 		suite.Policy, suite.InstsPerRun, suite.ExactSeconds, suite.ExactNsPerCyc,
 		suite.SurSeconds, suite.SurNsPerCyc, suite.SpeedupNsPerCycle, 100*suite.ReplayFrac)
+
+	gang, err := measureGang(gangBenchList(*gangBench), *gangInsts)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Gang = &gang
+	printGang(gang)
 
 	serial, err := measureBatch(*insts, 1)
 	if err != nil {
@@ -560,6 +701,23 @@ func main() {
 
 	writeReport(*out, rep)
 	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.2fx)\n", *out, rep.SpeedupParallelVsSerial)
+}
+
+// gangBenchList resolves the -gang-bench flag.
+func gangBenchList(arg string) []string {
+	if arg == "suite" {
+		return core.Benchmarks()
+	}
+	return strings.Split(arg, ",")
+}
+
+func printGang(g GangLaneStats) {
+	fmt.Fprintf(os.Stderr,
+		"gang (%d workloads, %d policies, %d insts): solo %.1f ns/cyc/cfg, gang %.1f (%.2fx, occ %.2f, %d forks), shared-cal %.1f (%.2fx, occ %.2f)\n",
+		len(g.Benchmarks), g.Policies, g.InstsPerRun,
+		g.Solo.NsPerCycleCfg,
+		g.Gang.NsPerCycleCfg, g.SpeedupGangVsSolo, g.Gang.Occupancy, g.Gang.Forks,
+		g.GangSharedCal.NsPerCycleCfg, g.SpeedupSharedVsSolo, g.GangSharedCal.Occupancy)
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dtm"
@@ -40,6 +41,7 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
 		cachePack = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
 		cacheMem  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
+		gangSize  = flag.Int("gang-size", 16, "max members per lock-step gang; <= 1 runs every point solo (gangs are disabled while -trace/-metrics sinks are attached)")
 	)
 	flag.Parse()
 
@@ -139,52 +141,127 @@ func main() {
 		}
 		defer cache.Close()
 	}
-	// cached wraps one point's job in a run-cache lookup. Instrumented runs
-	// (live -trace/-metrics sinks) are rejected by sim.CacheKey and always
-	// execute.
-	cached := func(cfg sim.Config) runner.Job[*sim.Result] {
-		job := func(ctx context.Context) (*sim.Result, error) {
-			return sim.RunContext(ctx, cfg)
-		}
-		if key, ok := sim.CacheKey(cfg); ok {
-			return runner.CachedJob(cache, key, job)
-		}
-		return job
-	}
-
-	// Baseline rides along as job 0 so the whole sweep is one batch.
-	jobs := make([]runner.Job[*sim.Result], 0, len(points)+1)
+	// Baseline rides along as cell 0 so the whole sweep is one batch.
+	cfgs := make([]sim.Config, 0, len(points)+1)
 	baseCfg := sim.Config{Workload: prof, MaxInsts: *insts}
 	instrument(&baseCfg, "base")
-	jobs = append(jobs, cached(baseCfg))
+	cfgs = append(cfgs, baseCfg)
 	for _, pt := range points {
-		cfg, label := pt.cfg, pt.label
-		instrument(&cfg, label)
-		jobs = append(jobs, cached(cfg))
+		cfg := pt.cfg
+		instrument(&cfg, pt.label)
+		cfgs = append(cfgs, cfg)
 	}
+
+	// Pre-flight cache probe: serve warm cells before anything is
+	// scheduled, so only the cold remainder competes for workers (and can
+	// be gang-grouped). Instrumented runs are rejected by sim.CacheKey and
+	// always execute.
+	results := make([]*sim.Result, len(cfgs))
+	keys := make([]string, len(cfgs))
+	var cold []int
+	for i, cfg := range cfgs {
+		if cache != nil {
+			if key, ok := sim.CacheKey(cfg); ok {
+				keys[i] = key
+				if res, hit := cache.Get(key); hit {
+					results[i] = res
+					continue
+				}
+			}
+		}
+		cold = append(cold, i)
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache pre-flight: %d/%d cells warm, %d cold\n",
+			len(cfgs)-len(cold), len(cfgs), len(cold))
+	}
+
 	opts := runner.Options{Workers: *workers}
 	if sinks.Registry != nil {
 		opts.Metrics = telemetry.NewRunnerMetrics(sinks.Registry)
 	}
-	outs, err := runner.Run(ctx, opts, jobs)
-	if err != nil {
-		sinks.Close()
-		fatal(err)
+	start := time.Now()
+	var cells, cycles uint64
+	// All sweep points share one workload, so the cold cells gang-schedule
+	// directly: chunks of up to -gang-size members run lock-step, sharing
+	// the pipeline/power front half per operating-point class. Telemetry
+	// sinks force solo runs (gangs reject per-run sinks), as does any
+	// chunk the gang executor rejects.
+	useGangs := *gangSize > 1 && sinks.Registry == nil && sinks.Recorder == nil
+	if len(cold) > 0 && useGangs {
+		var chunks [][]int
+		for lo := 0; lo < len(cold); lo += *gangSize {
+			chunks = append(chunks, cold[lo:min(lo+*gangSize, len(cold))])
+		}
+		outs, err := runner.Map(ctx, opts, chunks,
+			func(ctx context.Context, idx []int) ([]*sim.Result, error) {
+				group := make([]sim.Config, len(idx))
+				for j, i := range idx {
+					group[j] = cfgs[i]
+				}
+				if len(group) > 1 {
+					if g, err := sim.NewGang(group, sim.GangOptions{}); err == nil {
+						return g.Run(ctx)
+					}
+				}
+				out := make([]*sim.Result, len(group))
+				for j, cfg := range group {
+					res, err := sim.RunContext(ctx, cfg)
+					if err != nil {
+						return nil, err
+					}
+					out[j] = res
+				}
+				return out, nil
+			})
+		if err != nil {
+			sinks.Close()
+			fatal(err)
+		}
+		for ci, idx := range chunks {
+			for j, i := range idx {
+				results[i] = outs[ci][j]
+			}
+		}
+	} else if len(cold) > 0 {
+		jobs := make([]runner.Job[*sim.Result], len(cold))
+		for j, i := range cold {
+			cfg := cfgs[i]
+			jobs[j] = func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunContext(ctx, cfg)
+			}
+		}
+		outs, err := runner.Run(ctx, opts, jobs)
+		if err != nil {
+			sinks.Close()
+			fatal(err)
+		}
+		for j, i := range cold {
+			results[i] = outs[j].Value
+		}
 	}
-	base := outs[0].Value
+	for _, i := range cold {
+		cells++
+		cycles += results[i].Cycles
+		if cache != nil && keys[i] != "" {
+			cache.Put(keys[i], results[i])
+		}
+	}
+	base := results[0]
 
 	fmt.Printf("%s,ipc,pct_of_base,emerg_pct,stress_pct,avg_duty,engagements\n", *param)
 	for i, pt := range points {
-		res := outs[i+1].Value
+		res := results[i+1]
 		fmt.Printf("%s,%.4f,%.2f,%.3f,%.3f,%.3f,%d\n",
 			pt.label, res.IPC, 100*res.IPC/base.IPC,
 			100*res.EmergencyFrac(), 100*res.StressFrac(),
 			res.AvgDuty, res.Engagements)
 	}
-	total := runner.TotalMetrics(outs)
 	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergencyFrac())
-	fmt.Fprintf(os.Stderr, "sweep: %d runs, %d cycles, %.0f cycles/s/worker\n",
-		len(outs), total.Cycles, total.CyclesPerSec)
+	if wall := time.Since(start).Seconds(); cells > 0 && wall > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d cycles, %.0f cycles/s\n",
+			cells, cycles, float64(cycles)/wall)
+	}
 	if err := sinks.Close(); err != nil {
 		fatal(err)
 	}

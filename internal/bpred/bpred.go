@@ -309,6 +309,20 @@ func (p *Predictor) Recover(class isa.OpClass, taken bool, pr Prediction) {
 	p.ras[p.rasTop%len(p.ras)] = pr.rasTopVal
 }
 
+// Clone returns an independent deep copy of the predictor: all tables,
+// the global history, the RAS, and the statistics. Gang execution forks a
+// diverged simulation by cloning the shared core; predictions in the clone
+// must match what the original would have produced bit for bit.
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.bimod = append(p.bimod[:0:0], p.bimod...)
+	q.global = append(p.global[:0:0], p.global...)
+	q.chooser = append(p.chooser[:0:0], p.chooser...)
+	q.btb = append(p.btb[:0:0], p.btb...)
+	q.ras = append(p.ras[:0:0], p.ras...)
+	return &q
+}
+
 // History returns the current global history register (tests).
 func (p *Predictor) History() uint64 { return p.hist }
 

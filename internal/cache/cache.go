@@ -216,6 +216,17 @@ func (c *Cache) writebackFill(addr uint64) {
 	set[victim] = line{valid: true, dirty: true, tag: tag, lru: c.clock}
 }
 
+// Clone returns an independent deep copy of this level backed by next.
+// The caller is responsible for reproducing the hierarchy topology: clone
+// the shared L2 first, then clone each L1 with the L2 clone as next, so the
+// copy preserves the original's sharing structure exactly.
+func (c *Cache) Clone(next *Cache) *Cache {
+	q := *c
+	q.lines = append(c.lines[:0:0], c.lines...)
+	q.next = next
+	return &q
+}
+
 // Flush invalidates every line (tests and phase boundaries).
 func (c *Cache) Flush() {
 	for i := range c.lines {
@@ -288,6 +299,18 @@ func (t *TLB) Access(addr uint64) (lat int, miss bool) {
 	t.slots[victim].lru = t.clock
 	t.index[vpn] = victim
 	return t.missPenalty, true
+}
+
+// Clone returns an independent deep copy of the TLB, including its LRU
+// stamps and the vpn index.
+func (t *TLB) Clone() *TLB {
+	q := *t
+	q.slots = append(t.slots[:0:0], t.slots...)
+	q.index = make(map[uint64]int, len(t.index))
+	for k, v := range t.index {
+		q.index[k] = v
+	}
+	return &q
 }
 
 // Stats returns a copy of the TLB traffic counters.

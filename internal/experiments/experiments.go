@@ -52,6 +52,17 @@ type Params struct {
 	// simulations entirely. Runs with live telemetry attached (Registry
 	// or Trace set) are not cacheable and always execute.
 	Cache *runner.Cache[*sim.Result]
+	// GangSize, when > 1, gang-schedules batches: cold specs sharing one
+	// workload are stepped as lock-step operating-point equivalence
+	// classes of up to GangSize members (sim.NewGang), so the shared
+	// pipeline and power-model work is evaluated once per class instead
+	// of once per run. Results are byte-identical to solo execution.
+	// Cached cells are served by a pre-flight probe and never scheduled;
+	// groups the gang executor rejects (per-cycle instrumentation,
+	// heterogeneous execution parameters) fall back to solo runs.
+	// Ignored while live telemetry (Registry/Trace) is attached, since
+	// per-run sinks require solo execution.
+	GangSize int
 }
 
 // ctx returns the effective batch context.
@@ -80,28 +91,146 @@ type runSpec struct {
 
 // runBatch executes specs through the parallel experiment engine: bounded
 // workers, first-error abort, panic-to-error conversion, per-run metrics.
-// Results come back in spec order.
+// Results come back in spec order. With GangSize > 1 and no telemetry
+// attached, cold specs sharing a workload run as lock-step gangs instead
+// of independent runs.
 func runBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
+	if p.GangSize > 1 && p.Registry == nil && p.Trace == nil {
+		return runGangBatch(p, specs)
+	}
 	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
 	if p.Registry != nil {
 		opts.Metrics = telemetry.NewRunnerMetrics(p.Registry)
 	}
 	return runner.Map(p.ctx(), opts, specs,
 		func(ctx context.Context, sp runSpec) (*sim.Result, error) {
-			prof, err := bench.ByName(sp.bench)
+			cfg, err := p.buildConfig(sp)
 			if err != nil {
 				return nil, err
-			}
-			cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
-			if err := bench.ApplyPolicy(&cfg, sp.policy, sp.setpoint); err != nil {
-				return nil, err
-			}
-			if sp.cfg != nil {
-				sp.cfg(&cfg)
 			}
 			p.instrument(&cfg, sp.bench+"/"+sp.policy)
 			return p.runSim(ctx, cfg)
 		})
+}
+
+// buildConfig materializes one spec into a run configuration, without
+// telemetry instrumentation.
+func (p Params) buildConfig(sp runSpec) (sim.Config, error) {
+	prof, err := bench.ByName(sp.bench)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{Workload: prof, MaxInsts: p.Insts}
+	if err := bench.ApplyPolicy(&cfg, sp.policy, sp.setpoint); err != nil {
+		return sim.Config{}, err
+	}
+	if sp.cfg != nil {
+		sp.cfg(&cfg)
+	}
+	return cfg, nil
+}
+
+// gangGroup is one schedulable unit of a gang batch: the cold specs of
+// one workload, capped at GangSize members.
+type gangGroup struct {
+	idx  []int // positions in the batch's spec slice
+	cfgs []sim.Config
+	keys []string // cache keys, "" where uncacheable
+}
+
+// runGangBatch is the gang-scheduled batch engine. It pre-flights the
+// cache for every cell, groups the cold cells by workload, chunks each
+// group to GangSize and runs the groups through the worker pool — each
+// as one sim.NewGang, falling back to solo runs for singletons and for
+// groups the gang executor rejects. Result order and cache behavior are
+// identical to the solo path.
+func runGangBatch(p Params, specs []runSpec) ([]*sim.Result, error) {
+	out := make([]*sim.Result, len(specs))
+	cfgs := make([]sim.Config, len(specs))
+	keys := make([]string, len(specs))
+	var cold []int
+	for i, sp := range specs {
+		cfg, err := p.buildConfig(sp)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+		if p.Cache != nil {
+			if key, ok := sim.CacheKey(cfg); ok {
+				keys[i] = key
+				if res, hit := p.Cache.Get(key); hit {
+					out[i] = res
+					continue
+				}
+			}
+		}
+		cold = append(cold, i)
+	}
+
+	var groups []gangGroup
+	open := map[string]int{} // workload name -> open group index
+	for _, i := range cold {
+		gi, ok := open[specs[i].bench]
+		if !ok || len(groups[gi].idx) >= p.GangSize {
+			groups = append(groups, gangGroup{})
+			gi = len(groups) - 1
+			open[specs[i].bench] = gi
+		}
+		g := &groups[gi]
+		g.idx = append(g.idx, i)
+		g.cfgs = append(g.cfgs, cfgs[i])
+		g.keys = append(g.keys, keys[i])
+	}
+
+	if len(groups) == 0 { // fully warm batch: nothing to schedule
+		return out, nil
+	}
+	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
+	results, err := runner.Map(p.ctx(), opts, groups,
+		func(ctx context.Context, g gangGroup) ([]*sim.Result, error) {
+			return p.runGroup(ctx, g)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for gi := range groups {
+		for j, i := range groups[gi].idx {
+			out[i] = results[gi][j]
+		}
+	}
+	return out, nil
+}
+
+// runGroup executes one gang group. Singletons run solo; multi-member
+// groups run as one gang, and any configuration set the gang executor
+// rejects (proxy windows, trace strides, heterogeneous budgets) degrades
+// to per-member solo runs rather than failing the batch.
+func (p Params) runGroup(ctx context.Context, g gangGroup) ([]*sim.Result, error) {
+	var results []*sim.Result
+	if len(g.cfgs) > 1 {
+		if gang, err := sim.NewGang(g.cfgs, sim.GangOptions{}); err == nil {
+			if results, err = gang.Run(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if results == nil {
+		for _, cfg := range g.cfgs {
+			res, err := sim.RunContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+	}
+	if p.Cache != nil {
+		for j, key := range g.keys {
+			if key != "" {
+				p.Cache.Put(key, results[j])
+			}
+		}
+	}
+	return results, nil
 }
 
 // runSim executes one configured run, serving it from the params' cache
@@ -323,27 +452,34 @@ type PolicyEval struct {
 	PctOfBase map[string][]float64 // parallel to bench.Names()
 }
 
-// RunPolicyEval executes the full policy-evaluation matrix.
+// RunPolicyEval executes the full policy-evaluation matrix. The whole
+// matrix — baseline plus every policy — goes through one batch, so gang
+// scheduling (Params.GangSize) can fold each benchmark's policy column
+// into a single lock-step gang.
 func RunPolicyEval(p Params) (*PolicyEval, error) {
-	base, err := Baseline(p)
+	names := bench.Names()
+	specs := make([]runSpec, 0, (1+len(p.Policies))*len(names))
+	for _, n := range names {
+		specs = append(specs, runSpec{bench: n, policy: "none"})
+	}
+	for _, pol := range p.Policies {
+		for _, n := range names {
+			specs = append(specs, runSpec{bench: n, policy: pol})
+		}
+	}
+	all, err := runBatch(p, specs)
 	if err != nil {
 		return nil, err
 	}
+	base := all[:len(names)]
 	ev := &PolicyEval{
 		Policies:  p.Policies,
 		Base:      base,
 		ByPolicy:  map[string][]*sim.Result{},
 		PctOfBase: map[string][]float64{},
 	}
-	for _, pol := range p.Policies {
-		var specs []runSpec
-		for _, n := range bench.Names() {
-			specs = append(specs, runSpec{bench: n, policy: pol})
-		}
-		results, err := runBatch(p, specs)
-		if err != nil {
-			return nil, err
-		}
+	for k, pol := range p.Policies {
+		results := all[(k+1)*len(names) : (k+2)*len(names)]
 		ev.ByPolicy[pol] = results
 		pct := make([]float64, len(results))
 		for i, r := range results {
@@ -438,33 +574,47 @@ func (ev *PolicyEval) Table12() *stats.Table {
 }
 
 // SetpointStudy runs PI and PID at the paper's default and lowered
-// setpoints (Table 13 / Section 7's setpoint sensitivity).
+// setpoints (Table 13 / Section 7's setpoint sensitivity). Like the
+// policy evaluation, all cells go through one batch so gang scheduling
+// can group them by benchmark.
 func SetpointStudy(p Params) (*stats.Table, error) {
-	base, err := Baseline(p)
+	names := bench.Names()
+	type cell struct {
+		pol string
+		sp  float64
+	}
+	var cells []cell
+	for _, pol := range []string{"PI", "PID"} {
+		for _, sp := range []float64{bench.PISetpoint, bench.LowSetpoint} {
+			cells = append(cells, cell{pol, sp})
+		}
+	}
+	specs := make([]runSpec, 0, (1+len(cells))*len(names))
+	for _, n := range names {
+		specs = append(specs, runSpec{bench: n, policy: "none"})
+	}
+	for _, c := range cells {
+		for _, n := range names {
+			specs = append(specs, runSpec{bench: n, policy: c.pol, setpoint: c.sp})
+		}
+	}
+	all, err := runBatch(p, specs)
 	if err != nil {
 		return nil, err
 	}
+	base := all[:len(names)]
 	t := &stats.Table{Header: []string{"policy", "setpoint", "mean % of base IPC", "emergency cycles"}}
-	for _, pol := range []string{"PI", "PID"} {
-		for _, sp := range []float64{bench.PISetpoint, bench.LowSetpoint} {
-			var specs []runSpec
-			for _, n := range bench.Names() {
-				specs = append(specs, runSpec{bench: n, policy: pol, setpoint: sp})
-			}
-			results, err := runBatch(p, specs)
-			if err != nil {
-				return nil, err
-			}
-			var pcts []float64
-			var emerg uint64
-			for i, r := range results {
-				pcts = append(pcts, r.IPC/base[i].IPC)
-				emerg += r.EmergencyCycles
-			}
-			t.AddRow(pol, fmt.Sprintf("%.1f", sp),
-				fmt.Sprintf("%.1f%%", 100*stats.Mean(pcts)),
-				fmt.Sprintf("%d", emerg))
+	for k, c := range cells {
+		results := all[(k+1)*len(names) : (k+2)*len(names)]
+		var pcts []float64
+		var emerg uint64
+		for i, r := range results {
+			pcts = append(pcts, r.IPC/base[i].IPC)
+			emerg += r.EmergencyCycles
 		}
+		t.AddRow(c.pol, fmt.Sprintf("%.1f", c.sp),
+			fmt.Sprintf("%.1f%%", 100*stats.Mean(pcts)),
+			fmt.Sprintf("%d", emerg))
 	}
 	return t, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -259,5 +260,91 @@ func TestRunSimCacheRoundTrip(t *testing.T) {
 	}
 	if cache.Len() != 1 {
 		t.Error("instrumented run touched the cache")
+	}
+}
+
+// TestGangBatchMatchesSolo: the gang-scheduled batch engine must return
+// results byte-identical to the solo engine for the same specs, serve
+// cached cells from the pre-flight probe without scheduling them, and
+// fill the cache for cold cells just like the solo path.
+func TestGangBatchMatchesSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gang batch comparison is slow")
+	}
+	specs := []runSpec{
+		{bench: "gcc", policy: "none"},
+		{bench: "gcc", policy: "toggle1"},
+		{bench: "gcc", policy: "PI"},
+		{bench: "gcc", policy: "fscale"},
+		{bench: "art", policy: "none"},
+		{bench: "art", policy: "PI"},
+	}
+	p := Params{Insts: 60_000}
+	solo, err := runBatch(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := runner.NewCache[*sim.Result](t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := Params{Insts: 60_000, GangSize: 8, Cache: cache}
+	ganged, err := runBatch(gp, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		a, err1 := json.Marshal(solo[i])
+		b, err2 := json.Marshal(ganged[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s/%s: gang batch differs from solo:\nsolo: %s\ngang: %s",
+				specs[i].bench, specs[i].policy, a, b)
+		}
+	}
+	if cache.Len() != len(specs) {
+		t.Errorf("cache holds %d entries after gang batch, want %d", cache.Len(), len(specs))
+	}
+
+	// Warm rerun: every cell must come from the pre-flight probe. A probe
+	// miss would re-execute and still pass the equality check, so prove no
+	// runs happen by giving the rerun an already-cancelled context — only
+	// scheduled work observes it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gp.Context = ctx
+	warm, err := runBatch(gp, specs)
+	if err != nil {
+		t.Fatalf("warm gang batch scheduled work despite full cache: %v", err)
+	}
+	for i := range specs {
+		if warm[i] == nil || warm[i].Cycles != solo[i].Cycles {
+			t.Errorf("%s/%s: warm cell differs", specs[i].bench, specs[i].policy)
+		}
+	}
+}
+
+// TestGangBatchFallback: specs the gang executor rejects (per-run proxy
+// windows make members heterogeneous) must degrade to solo runs inside
+// the group, not fail the batch.
+func TestGangBatchFallback(t *testing.T) {
+	proxied := func(c *sim.Config) { c.ProxyWindows = []int{5_000} }
+	specs := []runSpec{
+		{bench: "gzip", policy: "none", cfg: proxied},
+		{bench: "gzip", policy: "none"},
+	}
+	p := Params{Insts: 40_000, GangSize: 4}
+	res, err := runBatch(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Proxies) == 0 {
+		t.Error("proxied member lost its proxy results in fallback")
+	}
+	if len(res[1].Proxies) != 0 {
+		t.Error("plain member grew proxy results")
 	}
 }

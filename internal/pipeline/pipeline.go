@@ -268,6 +268,29 @@ type Core struct {
 	CommitHook func(op *isa.MicroOp)
 }
 
+// Clone returns an independent deep copy of the core running the given
+// instruction source (normally a clone of the original's source, positioned
+// identically). Every microarchitectural structure — predictor, cache
+// hierarchy (preserving the shared-L2 topology), TLB, RUU/LSQ/IFQ rings,
+// scheduler acceleration state, and the DTM actuator knobs — is copied so
+// the clone steps bit-identically to how the original would have. The
+// CommitHook is carried over as-is.
+func (c *Core) Clone(gen workload.Source) *Core {
+	q := *c
+	q.gen = gen
+	q.pred = c.pred.Clone()
+	q.l2 = c.l2.Clone(nil)
+	q.il1 = c.il1.Clone(q.l2)
+	q.dl1 = c.dl1.Clone(q.l2)
+	q.tlb = c.tlb.Clone()
+	q.ruu = append(c.ruu[:0:0], c.ruu...)
+	q.lsq = append(c.lsq[:0:0], c.lsq...)
+	q.ifq = append(c.ifq[:0:0], c.ifq...)
+	q.readyBits = append(c.readyBits[:0:0], c.readyBits...)
+	q.buckets = append(c.buckets[:0:0], c.buckets...)
+	return &q
+}
+
 // New builds a core running the given instruction source — a live
 // workload.Generator or a recorded workload.TraceSource. The L2 is shared
 // between the instruction and data caches.

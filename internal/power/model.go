@@ -310,6 +310,17 @@ func New(cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// Clone returns an independent deep copy of the model. The model is not
+// stateless: BlockPower advances each block's EWMA pre-clamp filter, so a
+// forked simulation needs its own copy to keep producing the powers the
+// original would have.
+func (m *Model) Clone() *Model {
+	q := *m
+	q.blocks = append(m.blocks[:0:0], m.blocks...)
+	q.terms = append(m.terms[:0:0], m.terms...)
+	return &q
+}
+
 // NumBlocks returns the number of modeled blocks.
 func (m *Model) NumBlocks() int { return len(m.blocks) }
 

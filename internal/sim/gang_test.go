@@ -1,0 +1,303 @@
+package sim
+
+// Unit tests for the gang executor internals: class partitioning, fork on
+// actuation divergence, exact re-merge, config validation and the
+// zero-allocation contract of the class-step loop. The full gang-vs-solo
+// byte-identity matrix (18 workloads x 13 policies) lives in
+// gang_equiv_test.go (package sim_test, which can reach the benchmark
+// suite).
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dtm"
+)
+
+// gangPolicyConfigs builds a surrogate-enabled gang spec around
+// hotProfile: one uncontrolled member plus PI members at the given
+// setpoints (distinct manager instances, as NewGang requires).
+func gangPolicyConfigs(insts uint64, setpoints ...float64) []Config {
+	cfgs := []Config{{Workload: hotProfile(), MaxInsts: insts, PipelineSurrogate: true}}
+	for _, sp := range setpoints {
+		cfgs = append(cfgs, Config{
+			Workload:          hotProfile(),
+			MaxInsts:          insts,
+			Manager:           newPIManager(sp),
+			PipelineSurrogate: true,
+		})
+	}
+	return cfgs
+}
+
+// TestGangMatchesSolo is the in-package smoke version of the golden
+// matrix: a mixed gang (uncontrolled, two PI setpoints, a toggle) must
+// produce results byte-identical to solo runs of the same configs.
+func TestGangMatchesSolo(t *testing.T) {
+	const insts = 300_000
+	mk := func() []Config {
+		cfgs := gangPolicyConfigs(insts, 111.1, 110.8)
+		cfgs = append(cfgs, Config{
+			Workload:          hotProfile(),
+			MaxInsts:          insts,
+			Manager:           dtm.NewManager(dtm.NewToggle1(110.3, 5)),
+			PipelineSurrogate: true,
+		})
+		return cfgs
+	}
+
+	solo := make([]*Result, len(mk()))
+	for i, cfg := range mk() {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("solo %d: %v", i, err)
+		}
+		solo[i] = r
+	}
+
+	g, err := NewGang(mk(), GangOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ganged, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range solo {
+		want, err1 := json.Marshal(solo[i])
+		got, err2 := json.Marshal(ganged[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(want) != string(got) {
+			t.Errorf("member %d diverged from solo run:\nsolo: %s\ngang: %s", i, want, got)
+		}
+	}
+	st := g.Stats()
+	if st.Members != len(solo) {
+		t.Errorf("Members = %d, want %d", st.Members, len(solo))
+	}
+	if st.MemberCycles <= st.ClassCycles {
+		t.Errorf("no sharing achieved: member=%d class=%d", st.MemberCycles, st.ClassCycles)
+	}
+	t.Logf("stats: %+v occupancy=%.2f", st, st.Occupancy())
+}
+
+// TestGangForkOnDivergence: two PI members at different setpoints start
+// in one class (same sampling schedule, same initial actuation) and must
+// fork once their duties diverge; the uncontrolled member sits in its own
+// schedule group from the start.
+func TestGangForkOnDivergence(t *testing.T) {
+	g, err := NewGang(gangPolicyConfigs(600_000, 111.1, 110.5), GangOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.classes) != 2 {
+		t.Fatalf("initial classes = %d, want 2 (schedule groups)", len(g.classes))
+	}
+	if len(g.classes[1].members) != 2 {
+		t.Fatalf("PI schedule group has %d members, want 2", len(g.classes[1].members))
+	}
+	if _, err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if g.stats.Forks == 0 {
+		t.Error("PI members at different setpoints never forked")
+	}
+}
+
+// TestGangMerge force-splits a class of identical members (whose deep
+// state therefore stays bit-equal), steps both halves in lock-step and
+// verifies tryMerge folds them back together.
+func TestGangMerge(t *testing.T) {
+	cfgs := []Config{
+		{Workload: hotProfile(), MaxInsts: 1 << 40, Manager: newPIManager(111.1), PipelineSurrogate: true},
+		{Workload: hotProfile(), MaxInsts: 1 << 40, Manager: newPIManager(111.1), PipelineSurrogate: true},
+	}
+	g, err := NewGang(cfgs, GangOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.classes) != 1 || len(g.classes[0].members) != 2 {
+		t.Fatalf("want one class of two members, got %+v", g.classes)
+	}
+	for i := 0; i < 20_000/classBurst; i++ {
+		g.Step()
+	}
+	if g.stats.Forks != 0 {
+		t.Fatalf("identical members forked (%d) — divergence check broken", g.stats.Forks)
+	}
+
+	// Force-split: clone the shared state for the second member exactly
+	// as fork does.
+	c := g.classes[0]
+	m := c.members[1]
+	c.members = c.members[:1]
+	gen2 := c.gen.Clone()
+	core2 := c.core.Clone(gen2)
+	pm2 := c.pmodel.Clone()
+	m.gen, m.core, m.pmodel = gen2, core2, pm2
+	m.cloneSurrogateFrom(c.members[0])
+	reassert(core2, m)
+	g.classes = append(g.classes, &gclass{members: []*Sim{m}, gen: gen2, core: core2, pmodel: pm2, sched: c.sched})
+	g.live++
+
+	// Identical members in separate classes evolve identically, so the
+	// next merge check must fold them back.
+	for i := 0; i < 2*mergeCheckCalls && g.live == 2; i++ {
+		g.Step()
+	}
+	if g.stats.Merges != 1 || g.live != 1 {
+		t.Fatalf("merge never fired: merges=%d live=%d", g.stats.Merges, g.live)
+	}
+	if n := len(g.classes[0].members); n != 2 {
+		t.Fatalf("surviving class has %d members, want 2", n)
+	}
+	// And the merged gang must still be correct: both members share one
+	// core again and keep producing identical trajectories.
+	for i := 0; i < 20_000/classBurst; i++ {
+		g.Step()
+	}
+	if g.stats.Forks != 0 {
+		t.Errorf("members diverged after merge (%d forks)", g.stats.Forks)
+	}
+}
+
+func TestGangRejectsIneligibleConfigs(t *testing.T) {
+	base := func() Config {
+		return Config{Workload: hotProfile(), MaxInsts: 100_000}
+	}
+	cases := map[string]func() []Config{
+		"empty": func() []Config { return nil },
+		"proxies": func() []Config {
+			a, b := base(), base()
+			b.ProxyWindows = []int{10_000}
+			return []Config{a, b}
+		},
+		"coupled-sink": func() []Config {
+			a, b := base(), base()
+			b.CoupleChipSink = true
+			return []Config{a, b}
+		},
+		"trace-stride": func() []Config {
+			a, b := base(), base()
+			b.TraceStride = 1000
+			return []Config{a, b}
+		},
+		"workload-mismatch": func() []Config {
+			a, b := base(), base()
+			b.Workload = coldProfile()
+			return []Config{a, b}
+		},
+		"insts-mismatch": func() []Config {
+			a, b := base(), base()
+			b.MaxInsts = 200_000
+			return []Config{a, b}
+		},
+		"surrogate-mismatch": func() []Config {
+			a, b := base(), base()
+			b.PipelineSurrogate = true
+			return []Config{a, b}
+		},
+		"shared-manager": func() []Config {
+			a, b := base(), base()
+			mgr := newPIManager(111.1)
+			a.Manager, b.Manager = mgr, mgr
+			return []Config{a, b}
+		},
+	}
+	for name, mk := range cases {
+		if _, err := NewGang(mk(), GangOptions{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// steadyGang builds a same-class gang (identical configs, so it never
+// forks) and warms it past construction transients; surrogate gangs warm
+// until replay has engaged.
+func steadyGang(tb testing.TB, n int, cfg func() Config) *Gang {
+	tb.Helper()
+	cfgs := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg()
+		c.Workload = hotProfile()
+		c.MaxInsts = 1 << 60
+		c.MaxCycles = 1 << 62
+		cfgs = append(cfgs, c)
+	}
+	g, err := NewGang(cfgs, GangOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 40_000/classBurst; i++ {
+		g.Step()
+	}
+	lead := g.classes[0].members[0]
+	for i := 0; cfgs[0].PipelineSurrogate && lead.res.SurrogateCycles == 0; i++ {
+		if i >= 20_000_000 {
+			tb.Fatal("surrogate never engaged during warm-up")
+		}
+		g.Step()
+	}
+	return g
+}
+
+// TestZeroAllocGangStep enforces the zero-allocation contract on the
+// class-step loop (exact and replay paths; forks, which are rare and may
+// allocate, cannot occur here because the members are identical). Part of
+// the repository's allocation gate (`go test -run TestZeroAlloc`).
+func TestZeroAllocGangStep(t *testing.T) {
+	for _, v := range []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"Exact", func() Config { return Config{} }},
+		{"DTM", func() Config { return Config{Manager: piManager()} }},
+		{"Surrogate", func() Config { return Config{PipelineSurrogate: true} }},
+		{"DTMSurrogate", func() Config { return Config{Manager: piManager(), PipelineSurrogate: true} }},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			g := steadyGang(t, 4, v.cfg)
+			allocs := testing.AllocsPerRun(20, func() {
+				for i := 0; i < 50; i++ {
+					g.Step()
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("gang step loop allocates %.2f times per %d class-steps; want 0", allocs, 50*classBurst)
+			}
+			if g.stats.Forks != 0 {
+				t.Fatalf("identical members forked (%d)", g.stats.Forks)
+			}
+		})
+	}
+}
+
+// BenchmarkGangStep measures the class-step cost at various gang sizes on
+// one shared class; the per-member cost should shrink toward the
+// member-fan-out cost as the gang grows.
+func BenchmarkGangStep(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		n    int
+		cfg  func() Config
+	}{
+		{"Exact1", 1, func() Config { return Config{} }},
+		{"Exact4", 4, func() Config { return Config{} }},
+		{"Exact13", 13, func() Config { return Config{} }},
+		{"Surrogate4", 4, func() Config { return Config{PipelineSurrogate: true} }},
+		{"Surrogate13", 13, func() Config { return Config{PipelineSurrogate: true} }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			g := steadyGang(b, v.n, v.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Step()
+			}
+		})
+	}
+}

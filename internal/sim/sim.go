@@ -283,6 +283,15 @@ type Sim struct {
 	stallLeft  uint64
 	cycle      uint64
 
+	// actFetchLimit / actMaxUnresolved mirror the last actuation the DTM
+	// manager applied to the core. The core setters are idempotent plain
+	// writes, so solo execution never needs them; gang execution uses them
+	// as the member's divergence signature (the core is shared, so the
+	// last writer's values cannot be read back per member) and to
+	// re-assert each partition's actuation on its core after a fork.
+	actFetchLimit    int
+	actMaxUnresolved int
+
 	// Macro-stepped thermal fast path. While fast is set, per-cycle
 	// block power is accumulated into powerAcc and the RC network is
 	// advanced once per window with the exact exponential solution;
@@ -310,6 +319,7 @@ type Sim struct {
 	// instructions credited analytically during replay.
 	sur         bool
 	gen         *workload.Generator
+	surBank     *calBank // optional gang-shared calibration bank (nil = off)
 	surCals     []surEntry
 	surPool     []surCal
 	surPoolPow  []float64
@@ -368,7 +378,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // New validates cfg and builds a steppable simulation.
-func New(cfg Config) (*Sim, error) {
+func New(cfg Config) (*Sim, error) { return newWith(cfg, nil, nil, nil) }
+
+// newWith builds a simulation, optionally around a pre-built workload
+// generator, core and power model (all three set, or all three nil). Gang
+// execution passes the shared objects of a lock-step equivalence class so
+// every member observes the same instruction/activity stream; New passes
+// nil and gets privately owned instances. The shared objects are only read
+// and snapshotted here — construction never mutates them.
+func newWith(cfg Config, gen *workload.Generator, core *pipeline.Core, pmodel *power.Model) (*Sim, error) {
 	if cfg.MaxInsts == 0 {
 		return nil, fmt.Errorf("sim: MaxInsts must be positive")
 	}
@@ -385,20 +403,23 @@ func New(cfg Config) (*Sim, error) {
 		cfg.ChipProxyTriggerW = 47
 	}
 
-	gen, err := workload.NewGenerator(cfg.Workload)
-	if err != nil {
-		return nil, err
-	}
-	core, err := pipeline.New(cfg.Pipeline, gen)
-	if err != nil {
-		return nil, err
-	}
-	pcfg := power.DefaultConfig()
-	pcfg.Gating = cfg.Gating
-	pcfg.Pipeline = cfg.Pipeline
-	pmodel, err := power.New(pcfg)
-	if err != nil {
-		return nil, err
+	if gen == nil {
+		var err error
+		gen, err = workload.NewGenerator(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		core, err = pipeline.New(cfg.Pipeline, gen)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := power.DefaultConfig()
+		pcfg.Gating = cfg.Gating
+		pcfg.Pipeline = cfg.Pipeline
+		pmodel, err = power.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Leakage != nil {
 		if err := cfg.Leakage.Validate(); err != nil {
@@ -509,6 +530,7 @@ func New(cfg Config) (*Sim, error) {
 		mgr:      mgr,
 		chipNode: chipNode,
 		res:      res,
+		gen:      gen,
 
 		powerVec:  make([]float64, nblk),
 		temps:     make([]float64, nblk),
@@ -521,6 +543,9 @@ func New(cfg Config) (*Sim, error) {
 		dt:         tcfg.CycleTime,
 		duty:       1,
 		freqFactor: 1,
+
+		actFetchLimit:    core.FetchLimit(),
+		actMaxUnresolved: core.MaxUnresolvedLimit(),
 
 		hasLeak:    cfg.Leakage != nil,
 		hasSensor:  cfg.Sensor != (sensor.Sensor{}),
@@ -562,7 +587,6 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("sim: PipelineSurrogate requires the macro-stepped thermal fast path (incompatible with power proxies, CoupleChipSink and ThermalStride 1)")
 		}
 		s.sur = true
-		s.gen = gen
 		s.surCals = make([]surEntry, 0, surMaxCals)
 		s.surPool = make([]surCal, surMaxCals)
 		s.surPoolPow = make([]float64, surMaxCals*nblk)
@@ -693,6 +717,13 @@ func (s *Sim) Cycle() uint64 { return s.cycle }
 // thermal network, bookkeeping, proxies and DTM. It performs no heap
 // allocations in the steady state (traces, when enabled, amortize
 // appends). Step must not be called after Finish.
+//
+// The body is split along the gang-execution seam: the shared prefix
+// (pipeline step, raw block power, surrogate calibration accumulators) is
+// evaluated once per operating-point equivalence class, and stepMember
+// fans the resulting power vector out into per-member state. Solo
+// execution is the one-member special case; the split introduces no
+// floating-point reordering (see stepMember).
 func (s *Sim) Step() {
 	if s.sur && s.stallLeft == 0 {
 		if cal := s.replayable(); cal != nil {
@@ -700,29 +731,55 @@ func (s *Sim) Step() {
 			return
 		}
 	}
-	s.cycle++
-	cycle := s.cycle
-	res := s.res
-
 	stalled := s.stallLeft > 0
 	if stalled {
-		s.stallLeft--
-		res.StallCycles++
 		s.act.Reset() // clock runs but the pipeline is idle
 	} else {
 		s.core.Step(&s.act)
 	}
 
-	// Power for this cycle.
-	powerVec := s.powerVec
-	s.pmodel.BlockPower(&s.act, powerVec)
+	// Raw per-block dynamic power for this cycle.
+	s.pmodel.BlockPower(&s.act, s.powerVec)
 	if s.sur {
 		// Calibration accumulates the pre-scaling, pre-leakage dynamic
-		// power (frequency/leakage are re-applied per replay window).
+		// power (frequency/leakage are re-applied per replay window) and
+		// the chip overhead. Both are class-level accumulators of pure
+		// per-cycle terms, so adding the overhead here rather than after
+		// ChipPower (its pre-refactor position) changes no observable
+		// value: the addend sequence into each accumulator is identical.
 		acc := s.surPowAcc
-		for i, p := range powerVec {
+		for i, p := range s.powerVec {
 			acc[i] += p
 		}
+		s.surExtraAcc += s.pmodel.ChipOverhead(&s.act)
+	}
+
+	chip := s.stepMember(&s.act, s.powerVec, stalled)
+	if s.sur {
+		s.surUpdate(stalled)
+	}
+	s.stepTail(chip)
+}
+
+// stepMember advances this member's private state for one exact cycle
+// given the class-shared activity record and raw power vector: scaling and
+// leakage, chip power, thermal integration, DTM sampling and the duty
+// integral. base is the class leader's power vector; a member whose own
+// powerVec is a different buffer copies it first, so every member consumes
+// bit-identical inputs and the downstream arithmetic matches a solo run
+// exactly. Returns the member's chip power for the telemetry tail.
+func (s *Sim) stepMember(act *pipeline.Activity, base []float64, stalled bool) float64 {
+	s.cycle++
+	cycle := s.cycle
+	res := s.res
+	if stalled {
+		s.stallLeft--
+		res.StallCycles++
+	}
+
+	powerVec := s.powerVec
+	if &powerVec[0] != &base[0] {
+		copy(powerVec, base)
 	}
 	pf := 1.0
 	if s.hasScaling {
@@ -743,10 +800,7 @@ func (s *Sim) Step() {
 			powerVec[i] += leak.Power(s.leakPeak[i], s.temps[i])
 		}
 	}
-	chip := s.pmodel.ChipPower(&s.act, powerVec)
-	if s.sur {
-		s.surExtraAcc += s.pmodel.ChipOverhead(&s.act)
-	}
+	chip := s.pmodel.ChipPower(act, powerVec)
 	s.chipPower.Add(chip)
 	if chip > res.MaxChipPower {
 		res.MaxChipPower = chip
@@ -789,10 +843,14 @@ func (s *Sim) Step() {
 		s.sampleDTM(cycle)
 	}
 	s.dutySum += s.duty
-	if s.sur {
-		s.surUpdate(stalled)
-	}
+	return chip
+}
 
+// stepTail emits the per-cycle trace and telemetry output. Gang execution
+// rejects traced/instrumented configurations, so only solo Step calls it.
+func (s *Sim) stepTail(chip float64) {
+	cycle := s.cycle
+	res := s.res
 	// Traces. On the fast path only a window-ending cycle can be a record
 	// cycle (the window length is clamped to the next one), so the stride
 	// phase is advanced over the window interior in one Bump and a single
@@ -862,6 +920,8 @@ func (s *Sim) sampleDTM(cycle uint64) {
 		}
 		s.core.SetFetchLimit(a.FetchLimit)
 		s.core.SetMaxUnresolvedBranches(a.MaxUnresolved)
+		s.actFetchLimit = a.FetchLimit
+		s.actMaxUnresolved = a.MaxUnresolved
 		s.stallLeft += stall
 		if s.hasMetrics && s.mgr.Interval != 0 && cycle%s.mgr.Interval == 0 {
 			s.countDTMSample()

@@ -146,6 +146,7 @@ type surCal struct {
 	splice   bool                // a replay leg separates prevIPC's window from the next
 	legSince bool                // a replay leg happened since the last validation
 	trendRun int                 // consecutive windows with budget cap >= surMinReplay
+	banked   bool                // stats adopted from a gang-shared calibration bank
 }
 
 // budgetFor estimates the IPC creep rate per cycle-exact cycle over the
@@ -250,8 +251,48 @@ func (s *Sim) replayable() *surCal {
 // temperatures, exactly like the fast path's per-cycle leakage), thermal
 // window flush, DTM sampling at the boundary, duty integral, traces and
 // telemetry. The loop is allocation-free.
+//
+// Like Step, the body is split along the gang seam: replayWindow computes
+// the (class-uniform) window length, replayMember advances one member's
+// private state across it, and the remainder is the class-level
+// bookkeeping on the shared workload stream and the leader-owned
+// calibration store. None of the class-level steps feed the member-level
+// arithmetic within one window, so the split is order-equivalent to the
+// pre-refactor single body.
 func (s *Sim) stepReplay(cal *surCal) {
-	res := s.res
+	w := s.replayWindow(cal)
+	fw := float64(w)
+	// Credit instructions analytically (fractional carry keeps the
+	// long-run rate exact); the workload stream is advanced to match
+	// below, so phase accounting progresses and a later cycle-exact span
+	// resumes at the right program position.
+	insts := cal.ipc*fw + s.surCarry
+	n := uint64(insts)
+	carry := insts - float64(n)
+
+	chip := s.replayMember(cal, w, n, carry)
+
+	s.gen.Skip(n)
+	cal.replayed += w
+	// Bank the open calibration span, then mark the splice: the pipeline
+	// was frozen through this leg, so the next completed window cannot
+	// carry aging information (splice) and the one after it audits a
+	// real leg (legSince).
+	s.surPause()
+	cal.splice = true
+	cal.legSince = true
+	s.surAccOK = false
+
+	s.replayTail(chip, w)
+}
+
+// replayWindow returns the replay window length for cal: the fast path's
+// next window clamped to the phase margin, the instruction budget and the
+// calibration's remaining replay allowance. Every input is uniform across
+// a gang class (the shared stream position, the class-uniform cycle and
+// sampling schedule, the leader-owned calibration), so one call serves the
+// whole class.
+func (s *Sim) replayWindow(cal *surCal) uint64 {
 	w := s.nextWindowLen()
 	if cal.ipc > 0 {
 		if rem := s.gen.PhaseInstsRemaining() - surPhaseMarginInsts; rem > 0 {
@@ -268,7 +309,17 @@ func (s *Sim) stepReplay(cal *surCal) {
 	if left := cal.budget - cal.replayed; left < w {
 		w = left // replayable guarantees left >= 1
 	}
+	return w
+}
 
+// replayMember advances one member's private state across a w-cycle replay
+// window calibrated by cal: scaled/leaked power against the frozen
+// window-start temperatures, chip-power statistics, the thermal window
+// flush, the analytic instruction credit (n whole instructions, carry
+// fraction), the duty integral and the boundary DTM sample. Returns the
+// member's chip power for the telemetry tail.
+func (s *Sim) replayMember(cal *surCal, w, n uint64, carry float64) float64 {
+	res := s.res
 	pf := 1.0
 	if s.hasScaling {
 		pf = s.cfg.Scaling.PowerFactor()
@@ -297,39 +348,30 @@ func (s *Sim) stepReplay(cal *surCal) {
 	res.ThermalSeconds += stepDt * fw
 
 	s.cycle += w
-	cycle := s.cycle
 	s.flushWindow(w)
 	s.winFlushed = true
 	s.winFlushLen = w
 
-	// Credit instructions analytically (fractional carry keeps the
-	// long-run rate exact) and advance the workload stream to match, so
-	// phase accounting progresses and a later cycle-exact span resumes at
-	// the right program position.
-	insts := cal.ipc*fw + s.surCarry
-	n := uint64(insts)
-	s.surCarry = insts - float64(n)
 	s.virtInsts += n
-	s.gen.Skip(n)
-	cal.replayed += w
+	s.surCarry = carry
 	res.SurrogateCycles += w
 
 	// Window-interior cycles ran at the pre-boundary duty; the boundary
 	// cycle observes the post-sample duty, mirroring the exact path's
 	// sample-then-integrate order.
 	s.dutySum += s.duty * (fw - 1)
-	s.sampleDTM(cycle)
+	s.sampleDTM(s.cycle)
 	s.dutySum += s.duty
 	s.startWindow()
-	// Bank the open calibration span, then mark the splice: the pipeline
-	// was frozen through this leg, so the next completed window cannot
-	// carry aging information (splice) and the one after it audits a
-	// real leg (legSince).
-	s.surPause()
-	cal.splice = true
-	cal.legSince = true
-	s.surAccOK = false
+	return chip
+}
 
+// replayTail emits the replay window's trace and telemetry output. Gang
+// execution rejects traced/instrumented configurations, so only the solo
+// stepReplay calls it.
+func (s *Sim) replayTail(chip float64, w uint64) {
+	res := s.res
+	cycle := s.cycle
 	if s.hasTrace {
 		_, hot := s.net.Hottest()
 		res.TempTrace.Bump(w - 1)
@@ -468,12 +510,16 @@ func (s *Sim) surUpdate(stalled bool) {
 		}
 		cal.extra += 0.25 * (extra - cal.extra)
 		cal.ipc += 0.25 * (ipc - cal.ipc)
-		if cal.histN < surHistMin || cal.trendRun < surTrendRun {
+		if (cal.histN < surHistMin || cal.trendRun < surTrendRun) && !cal.banked {
 			// Creep too fast for any worthwhile leg (or not enough
-			// history to tell): the pipeline must keep aging
-			// cycle-exact. Restart the slow-start ladder.
-			cal.valid = false
-			cal.budget = surMinReplay
+			// history to tell): the pipeline must keep aging cycle-exact
+			// — unless an independently calibrated bank donor vouches
+			// for the point and this window reproduces it.
+			if spliced || !s.bankAdopt(key, cal, win, extra, ipc) {
+				// Restart the slow-start ladder.
+				cal.valid = false
+				cal.budget = surMinReplay
+			}
 		} else if spliced {
 			// Pair-audit: this window cannot certify a frozen leg by
 			// itself; the next one (with real aging in between) decides.
@@ -487,20 +533,31 @@ func (s *Sim) surUpdate(stalled bool) {
 					cal.budget *= 2
 				}
 			}
-			if cal.budget > maxB {
-				// ... but never beyond what the creep rate affords.
+			if cal.histN >= surHistMin && cal.budget > maxB {
+				// ... but never beyond what the creep rate affords. (A
+				// bank-adopted calibration keeps the donor's budget
+				// until its own ring can estimate a rate; for a native
+				// calibration the trend gate above guarantees the ring
+				// is full enough, so the extra fill check changes
+				// nothing.)
 				cal.budget = maxB
 			}
+			s.bankPublish(key, cal)
 		}
 	} else {
 		// Cold start, a step change, or a changed phase: reseed, restart
 		// the slow-start ladder, and require fresh agreement and a fresh
-		// flat trend before replaying.
+		// flat trend before replaying — unless the fresh window
+		// reproduces a bank donor's stats, which substitutes for both.
 		copy(cal.power, win)
 		cal.extra = extra
 		cal.ipc = ipc
 		cal.valid = false
 		cal.budget = surMinReplay
+		cal.banked = false
+		if !spliced {
+			s.bankAdopt(key, cal, win, extra, ipc)
+		}
 	}
 	cal.seeded = true
 	cal.replayed = 0
@@ -580,4 +637,107 @@ func (s *Sim) surResume(key surKey, stalled bool) {
 	}
 	s.surExtraAcc = 0
 	s.surSnap0 = s.core.Snapshot()
+}
+
+// calBank is a gang-shared store of fully validated calibrations, keyed by
+// operating point. A gang steps on one goroutine, so the bank needs no
+// locking; solo runs leave it nil and never touch it. Members publish a
+// calibration when it passes a full audit and adopt a banked one when
+// their own freshly completed exact window reproduces the donor's stats —
+// substituting one independent cross-member audit for the donor's already
+// earned history ring and trend run, so a class reaching an operating
+// point another class has mapped skips the slow-start budget ladder.
+type calBank struct {
+	m    map[surKey]*bankCal
+	nblk int
+}
+
+// bankCal is one published calibration: the donor's window stats plus the
+// replay budget the donor had earned when it published.
+type bankCal struct {
+	power  []float64
+	extra  float64
+	ipc    float64
+	budget uint64
+}
+
+func newCalBank(nblk int) *calBank {
+	return &calBank{m: make(map[surKey]*bankCal), nblk: nblk}
+}
+
+// bankPublish records cal under key when the bank has no donor for it yet
+// or cal's earned budget exceeds the stored donor's. Updates reuse the
+// stored entry, so steady-state publishing is allocation-free.
+func (s *Sim) bankPublish(key surKey, cal *surCal) {
+	b := s.surBank
+	if b == nil {
+		return
+	}
+	bk := b.m[key]
+	if bk == nil {
+		bk = &bankCal{power: make([]float64, b.nblk)}
+		b.m[key] = bk
+	} else if cal.budget <= bk.budget {
+		return
+	}
+	copy(bk.power, cal.power)
+	bk.extra = cal.extra
+	bk.ipc = cal.ipc
+	bk.budget = cal.budget
+}
+
+// bankAdopt audits the just-completed exact window (win, extra, ipc)
+// against the banked donor for key. On agreement the member adopts the
+// donor's stats and budget: the adoption audit plays the role of the
+// drift-ring trend gate, and replay legs still pair-audit exactly like a
+// native calibration's. Returns false (leaving cal untouched) when there
+// is no bank, no donor, or the window disagrees.
+func (s *Sim) bankAdopt(key surKey, cal *surCal, win []float64, extra, ipc float64) bool {
+	b := s.surBank
+	if b == nil {
+		return false
+	}
+	bk := b.m[key]
+	if bk == nil || !surAgree(ipc, bk.ipc, win, bk.power, extra, bk.extra) {
+		return false
+	}
+	copy(cal.power, bk.power)
+	cal.extra = bk.extra
+	cal.ipc = bk.ipc
+	cal.valid = true
+	cal.banked = true
+	cal.seeded = true
+	cal.budget = bk.budget
+	cal.replayed = 0
+	return true
+}
+
+// cloneSurrogateFrom rebuilds this member's surrogate state as an exact
+// copy of src's, reusing the member's own preallocated pools so the clone
+// shares no storage with the source. Used when a gang fork promotes a
+// member to class leader: the new leader continues from the old leader's
+// calibration store, span accumulators, and replay carry.
+func (s *Sim) cloneSurrogateFrom(src *Sim) {
+	s.surCals = s.surCals[:0]
+	for i := range src.surCals {
+		e := &src.surCals[i]
+		cal := s.surAlloc(e.key)
+		pow, acc := cal.power, cal.acc
+		*cal = *e.cal
+		cal.power, cal.acc = pow, acc
+		copy(cal.power, e.cal.power)
+		copy(cal.acc, e.cal.acc)
+	}
+	copy(s.surPowAcc, src.surPowAcc)
+	s.surAccKey = src.surAccKey
+	s.surAccOK = src.surAccOK
+	// Re-resolve the active-span entry inside this member's own store:
+	// src.surAccCal may be stale (it is only meaningful under surAccOK,
+	// and surResume re-derives it), and it must never alias src's pools.
+	s.surAccCal = s.lookup(s.surAccKey)
+	s.surWarm = src.surWarm
+	s.surExtraAcc = src.surExtraAcc
+	s.surSnap0 = src.surSnap0
+	s.surCarry = src.surCarry
+	s.surBank = src.surBank
 }

@@ -498,6 +498,32 @@ func (g *Generator) account(op *isa.MicroOp) {
 	}
 }
 
+// Clone returns an independent deep copy of the generator: the same
+// profile and static code structure, positioned at the same dynamic point
+// with identical RNG state, so the clone emits exactly the op stream the
+// original would have. Slot execution counts (which drive periodic branch
+// patterns and streaming address progressions) are part of the dynamic
+// state and are copied, which is why the static bodies must be deep-copied
+// rather than shared.
+func (g *Generator) Clone() *Generator {
+	q := *g
+	rnd, wpRnd := *g.rnd, *g.wpRnd
+	q.rnd, q.wpRnd = &rnd, &wpRnd
+	q.phases = append(g.phases[:0:0], g.phases...)
+	for i := range q.phases {
+		pp := &q.phases[i]
+		pp.loops = append(pp.loops[:0:0], pp.loops...)
+		for j := range pp.loops {
+			pp.loops[j].slots = append(pp.loops[j].slots[:0:0], pp.loops[j].slots...)
+		}
+		pp.funcs = append(pp.funcs[:0:0], pp.funcs...)
+		for j := range pp.funcs {
+			pp.funcs[j].slots = append(pp.funcs[j].slots[:0:0], pp.funcs[j].slots...)
+		}
+	}
+	return &q
+}
+
 // PhaseIndex returns the index of the phase the generator is currently
 // emitting. Surrogate execution keys its calibrations on this: a phase
 // switch invalidates every activity statistic sampled under the old mix.
