@@ -11,6 +11,7 @@
 //	sweep -param interval -bench gcc -policy PID
 //	sweep -param delay    -bench gcc            # toggle1 policy delay
 //	sweep -param trigger  -bench gcc            # toggle1 trigger level
+//	sweep -param cores    -bench hotneighbor -policy agi   # multicore scaling
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		param     = flag.String("param", "setpoint", "setpoint | interval | delay | trigger")
+		param     = flag.String("param", "setpoint", "setpoint | interval | delay | trigger | cores")
 		benchName = flag.String("bench", "gcc", "benchmark")
 		policy    = flag.String("policy", "PI", "controller for setpoint/interval sweeps")
 		insts     = flag.Uint64("insts", 1_000_000, "committed instructions per point")
@@ -51,6 +52,68 @@ func main() {
 	sinks, err := telemetry.OpenSinks(*trace, *metrics, len(floorplan.Blocks()))
 	if err != nil {
 		fatal(err)
+	}
+
+	// The cores sweep runs the multicore engine (its own config and result
+	// types, no gang/cache layer), so it branches off before the solo sweep
+	// machinery. -bench names a core-interaction scenario here and -policy
+	// a multicore controller; each core count is reported against the
+	// uncontrolled baseline at the same count.
+	if *param == "cores" {
+		scenario := *benchName
+		if scenario == "gcc" { // solo default; pick the multicore default instead
+			scenario = "hotneighbor"
+		}
+		pol := *policy
+		if pol == "PI" { // solo default; the multicore face-off uses PID
+			pol = "PID"
+		}
+		counts := []int{1, 2, 4, 8}
+		type cell struct {
+			cores  int
+			policy string
+		}
+		var cells []cell
+		for _, nc := range counts {
+			cells = append(cells, cell{nc, "none"}, cell{nc, pol})
+		}
+		start := time.Now()
+		outs, err := runner.Map(ctx, runner.Options{Workers: *workers}, cells,
+			func(ctx context.Context, c cell) (*sim.MulticoreResult, error) {
+				cfg, err := bench.NewMulticoreRun(scenario, c.policy, c.cores, *insts)
+				if err != nil {
+					return nil, err
+				}
+				return sim.RunMulticore(ctx, cfg)
+			})
+		if err != nil {
+			sinks.Close()
+			fatal(err)
+		}
+		fmt.Printf("cores,ipc,pct_of_none,emerg_pct,stress_pct,avg_duty,avg_freq\n")
+		var cycles uint64
+		for i := 0; i < len(cells); i += 2 {
+			none, res := outs[i], outs[i+1]
+			cycles += none.Cycles + res.Cycles
+			var dutySum, freqSum float64
+			for c := range res.PerCore {
+				dutySum += res.PerCore[c].AvgDuty
+				freqSum += res.PerCore[c].AvgFreq
+			}
+			nc := float64(len(res.PerCore))
+			fmt.Printf("%d,%.4f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
+				cells[i].cores, res.IPC, 100*res.IPC/none.IPC,
+				100*res.EmergencyFrac(), 100*res.StressFrac(),
+				dutySum/nc, freqSum/nc)
+		}
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d cycles, %.0f cycles/s\n",
+				len(cells), cycles, float64(cycles)/wall)
+		}
+		if err := sinks.Close(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	prof, err := bench.ByName(*benchName)

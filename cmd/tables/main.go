@@ -173,5 +173,13 @@ func main() {
 		banner(13, "PI/PID setpoint sensitivity")
 		fmt.Print(t)
 	}
+	if want(14) {
+		start := time.Now()
+		t, err := experiments.MulticoreFaceOff(p, []int{1, 2, 4})
+		die(err)
+		fmt.Fprintf(os.Stderr, "multicore face-off: %v\n", time.Since(start))
+		banner(14, "multicore controller face-off (per-core PID vs adaptive-gain DVFS vs power budget)")
+		fmt.Print(t)
+	}
 	die(sinks.Close())
 }

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/dtm"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Multicore scenario and policy registries: the core-to-core interaction
+// workloads of ROADMAP item 4 and the controllers they face off — the
+// paper's PID replicated per core, the adjustable-gain integral DVFS
+// controller (arXiv:1507.06357), and the hierarchical global-budget +
+// local-PI controller (arXiv:2306.09501 shape).
+
+// MulticorePhaseInsts is the phase length for the migration/staggered
+// scenarios: long enough (≈ a thermal time constant at typical IPC) for a
+// hot phase to push a core toward the threshold before it moves on.
+const MulticorePhaseInsts = 512 << 10
+
+// CoreBudgetWatts is the per-core share of the chip power budget for the
+// hierarchical controller — near the hot kernel's unthrottled draw, so
+// the budget binds on hot cores while cool cores keep headroom.
+const CoreBudgetWatts = 22.0
+
+// MulticoreWorkloads lists the core-interaction scenarios.
+func MulticoreWorkloads() []string { return []string{"hotneighbor", "migration", "staggered"} }
+
+// MulticorePolicies lists the controllers the multicore face-off runs.
+func MulticorePolicies() []string { return []string{"none", "PID", "agi", "budget"} }
+
+// MulticoreProfiles returns the per-core workload profiles of a named
+// scenario at the given core count.
+func MulticoreProfiles(scenario string, cores int) ([]workload.Profile, error) {
+	switch scenario {
+	case "hotneighbor":
+		return workload.HotNeighbor(cores), nil
+	case "migration":
+		return workload.Migration(cores, MulticorePhaseInsts), nil
+	case "staggered":
+		return workload.Staggered(cores, MulticorePhaseInsts), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown multicore scenario %q", scenario)
+	}
+}
+
+// NewMulticoreRun builds a multicore simulation config: the named scenario
+// on cores cores under the named policy, with insts committed instructions
+// per core.
+func NewMulticoreRun(scenario, policy string, cores int, insts uint64) (sim.MulticoreConfig, error) {
+	profiles, err := MulticoreProfiles(scenario, cores)
+	if err != nil {
+		return sim.MulticoreConfig{}, err
+	}
+	cfg := sim.MulticoreConfig{
+		Workloads: profiles,
+		MaxInsts:  insts,
+	}
+	ts := float64(dtm.DefaultSampleInterval) / 1.5e9
+	switch policy {
+	case "none":
+	case "PID":
+		cfg.Managers = make([]*dtm.Manager, cores)
+		for c := range cfg.Managers {
+			p, err := NewPolicy("PID", 0)
+			if err != nil {
+				return sim.MulticoreConfig{}, err
+			}
+			cfg.Managers[c] = dtm.NewManager(p)
+		}
+	case "agi":
+		cfg.DVFS = make([]*dtm.AdaptiveGain, cores)
+		for c := range cfg.DVFS {
+			cfg.DVFS[c] = dtm.NewAdaptiveGain(PISetpoint)
+		}
+	case "budget":
+		g, err := control.Tune(Plant(), control.Spec{Kind: control.KindPI})
+		if err != nil {
+			return sim.MulticoreConfig{}, err
+		}
+		cfg.Budget = dtm.NewPowerBudget(cores, CoreBudgetWatts*float64(cores),
+			g, PISetpoint, PISensorRange, ts, 8)
+	default:
+		return sim.MulticoreConfig{}, fmt.Errorf("bench: unknown multicore policy %q", policy)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// mcSpec identifies one multicore simulation in a face-off batch.
+type mcSpec struct {
+	scenario string
+	policy   string
+	cores    int
+}
+
+// runMulticoreBatch executes multicore specs through the parallel
+// experiment engine. Multicore runs carry per-core pipelines and the
+// coupled die-wide network, so they always run solo (no gang/cache layer).
+func runMulticoreBatch(p Params, specs []mcSpec) ([]*sim.MulticoreResult, error) {
+	opts := runner.Options{Workers: p.Workers, Progress: p.Progress}
+	return runner.Map(p.ctx(), opts, specs,
+		func(ctx context.Context, sp mcSpec) (*sim.MulticoreResult, error) {
+			cfg, err := bench.NewMulticoreRun(sp.scenario, sp.policy, sp.cores, p.Insts)
+			if err != nil {
+				return nil, err
+			}
+			return sim.RunMulticore(ctx, cfg)
+		})
+}
+
+// MulticoreFaceOff runs the multicore controller face-off: every
+// core-interaction scenario at every core count under every multicore
+// policy (the paper's PID replicated per core vs the adjustable-gain
+// integral DVFS controller vs the hierarchical power budget), reporting
+// throughput against the uncontrolled baseline of the same cell alongside
+// the thermal outcome. Insts is the per-core budget.
+func MulticoreFaceOff(p Params, coreCounts []int) (*stats.Table, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{1, 2, 4}
+	}
+	scenarios := bench.MulticoreWorkloads()
+	policies := bench.MulticorePolicies()
+	var specs []mcSpec
+	for _, sc := range scenarios {
+		for _, nc := range coreCounts {
+			for _, pol := range policies {
+				specs = append(specs, mcSpec{scenario: sc, policy: pol, cores: nc})
+			}
+		}
+	}
+	results, err := runMulticoreBatch(p, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index the uncontrolled baseline of each scenario x cores cell.
+	baseIPC := map[[2]string]float64{}
+	for i, sp := range specs {
+		if sp.policy == "none" {
+			baseIPC[[2]string{sp.scenario, fmt.Sprint(sp.cores)}] = results[i].IPC
+		}
+	}
+
+	t := &stats.Table{Header: []string{
+		"scenario", "cores", "policy", "ipc", "% of none", "emerg %", "stress %", "avg duty", "avg freq"}}
+	for i, sp := range specs {
+		r := results[i]
+		rel := 0.0
+		if b := baseIPC[[2]string{sp.scenario, fmt.Sprint(sp.cores)}]; b > 0 {
+			rel = r.IPC / b
+		}
+		var dutySum, freqSum float64
+		for c := range r.PerCore {
+			dutySum += r.PerCore[c].AvgDuty
+			freqSum += r.PerCore[c].AvgFreq
+		}
+		nc := float64(len(r.PerCore))
+		t.AddRow(sp.scenario,
+			fmt.Sprint(sp.cores),
+			r.Policy,
+			fmt.Sprintf("%.3f", r.IPC),
+			stats.Percent(rel),
+			stats.Percent(r.EmergencyFrac()),
+			stats.Percent(r.StressFrac()),
+			fmt.Sprintf("%.3f", dutySum/nc),
+			fmt.Sprintf("%.3f", freqSum/nc))
+	}
+	return t, nil
+}

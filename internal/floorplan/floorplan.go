@@ -46,9 +46,16 @@ var blockNames = [...]string{
 }
 
 // String returns the block's short name as used in the paper's tables.
+// Tiled IDs (see Tile) render as "c<core>.<name>", e.g. "c2.fpexec".
 func (b BlockID) String() string {
 	if b >= 0 && int(b) < len(blockNames) {
 		return blockNames[b]
+	}
+	if b >= CoreStride {
+		local := LocalOf(b)
+		if int(local) < len(blockNames) {
+			return fmt.Sprintf("c%d.%s", CoreOf(b), blockNames[local])
+		}
 	}
 	return fmt.Sprintf("block(%d)", int(b))
 }

@@ -15,7 +15,10 @@ func TestBlockNames(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", id, id.String(), name)
 		}
 	}
-	if got := BlockID(99).String(); got != "block(99)" {
+	if got := BlockID(99).String(); got != "c12.bpred" {
+		t.Errorf("tiled block name = %q, want c12.bpred", got)
+	}
+	if got := BlockID(-3).String(); got != "block(-3)" {
 		t.Errorf("unknown block name = %q", got)
 	}
 }

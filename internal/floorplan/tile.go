@@ -1,0 +1,94 @@
+package floorplan
+
+import "math"
+
+// This file generalizes the single-core floorplan to N-core dies: Tile(n)
+// replicates the paper's 5 mm x 8.2 mm core layout in a grid and derives
+// every Neighbors list — within-core and across core boundaries — from the
+// tiled geometry. Cross-core lateral coupling then falls out of the same
+// Equation-4 tangential-resistance machinery the solver already applies to
+// within-core adjacency: abutting blocks of neighboring cores (e.g. one
+// core's FPExec against the next core's IntExec) exchange heat through the
+// series combination of their lateral resistances, no new solver code.
+
+// CoreStride is the BlockID stride between consecutive cores: each core
+// owns NumBlocks per-structure IDs plus a reserved slot aligned with the
+// whole-chip node (so core 0's IDs coincide with the classic single-core
+// numbering, Chip included).
+const CoreStride = NumBlocks + 1
+
+// TileID returns the BlockID of a core's local block in a tiled floorplan.
+// TileID(0, b) == b, so single-core code is unaffected.
+func TileID(core int, local BlockID) BlockID {
+	return BlockID(core*int(CoreStride)) + local
+}
+
+// CoreOf returns the core index a tiled BlockID belongs to.
+func CoreOf(id BlockID) int { return int(id) / int(CoreStride) }
+
+// LocalOf returns the within-core block a tiled BlockID refers to.
+func LocalOf(id BlockID) BlockID { return id % CoreStride }
+
+// TileCols returns the number of grid columns Tile/TileLayout use for n
+// cores: the smallest square-ish grid (ceil(sqrt(n)) columns, row-major).
+func TileCols(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// TileLayout places n copies of DefaultLayout in a TileCols(n)-column grid
+// of abutting 5 mm x 8.2 mm dies, core c at column c%cols, row c/cols.
+// Horizontally adjacent cores share the x = 5 mm die edge (FPExec↔IntExec,
+// Window↔Window, LSQ↔RegFile/BPred, DCache↔DCache abutments); vertically
+// adjacent cores share the y = 8.2 mm edge (DCache↔IntExec/FPExec).
+func TileLayout(n int) Layout {
+	base := DefaultLayout()
+	if n <= 1 {
+		return base
+	}
+	const dieW, dieH = 5.0e-3, 8.2e-3
+	cols := TileCols(n)
+	rects := make(map[BlockID]Rect, n*int(NumBlocks))
+	for c := 0; c < n; c++ {
+		dx := float64(c%cols) * dieW
+		dy := float64(c/cols) * dieH
+		for id, r := range base.Rects {
+			r.X += dx
+			r.Y += dy
+			rects[TileID(c, id)] = r
+		}
+	}
+	return Layout{Rects: rects}
+}
+
+// tileMinEdge is the shared-edge threshold for derived adjacency, the same
+// 0.5 mm the single-core layout tests pin Default()'s lists against.
+const tileMinEdge = 0.5e-3
+
+// Tile returns the block set of an n-core floorplan: n copies of the
+// Table 3 blocks with IDs remapped by TileID and Neighbors derived from
+// TileLayout's geometry, so cross-core abutments appear in the lists
+// exactly like within-core ones. Tile(1) returns Default() verbatim.
+// Blocks are ordered core-major with the paper's block order inside each
+// core, so index i models core i/NumBlocks, local block i%NumBlocks.
+func Tile(n int) []Block {
+	if n < 1 {
+		panic("floorplan: Tile needs at least one core")
+	}
+	if n == 1 {
+		return Default()
+	}
+	adj := TileLayout(n).Adjacency(tileMinEdge)
+	blocks := make([]Block, 0, n*int(NumBlocks))
+	for c := 0; c < n; c++ {
+		for _, b := range Default() {
+			id := TileID(c, b.ID)
+			b.ID = id
+			b.Neighbors = adj[id]
+			blocks = append(blocks, b)
+		}
+	}
+	return blocks
+}

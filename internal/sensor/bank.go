@@ -1,0 +1,56 @@
+package sensor
+
+import "fmt"
+
+// Bank is a per-core array of sensors for a tiled multicore die: one Sensor
+// per core, applied to that core's contiguous slice of the flat block
+// temperature vector (blocks are core-major, floorplan.Tile order). Reads
+// are allocation-free — callers own the destination slice.
+type Bank struct {
+	sensors []Sensor
+	bpc     int
+}
+
+// NewBank builds a bank from explicit per-core sensors over blocksPerCore
+// blocks each.
+func NewBank(sensors []Sensor, blocksPerCore int) *Bank {
+	if len(sensors) == 0 || blocksPerCore <= 0 {
+		panic("sensor: empty bank")
+	}
+	return &Bank{sensors: append([]Sensor(nil), sensors...), bpc: blocksPerCore}
+}
+
+// UniformBank builds a bank of cores identical sensors.
+func UniformBank(cores, blocksPerCore int, s Sensor) *Bank {
+	sensors := make([]Sensor, cores)
+	for i := range sensors {
+		sensors[i] = s
+	}
+	return NewBank(sensors, blocksPerCore)
+}
+
+// Cores returns the number of cores the bank covers.
+func (b *Bank) Cores() int { return len(b.sensors) }
+
+// BlocksPerCore returns the per-core block count.
+func (b *Bank) BlocksPerCore() int { return b.bpc }
+
+// Read fills dst with the given core's observed block temperatures from the
+// flat true-temperature vector and returns dst[:blocksPerCore].
+func (b *Bank) Read(core int, temps []float64, dst []float64) []float64 {
+	if core < 0 || core >= len(b.sensors) {
+		panic(fmt.Sprintf("sensor: core %d out of bank range %d", core, len(b.sensors)))
+	}
+	lo := core * b.bpc
+	if len(temps) < lo+b.bpc {
+		panic(fmt.Sprintf("sensor: %d temps for core %d of %d-block bank", len(temps), core, b.bpc))
+	}
+	if len(dst) < b.bpc {
+		panic("sensor: dst too short")
+	}
+	s := b.sensors[core]
+	for i := 0; i < b.bpc; i++ {
+		dst[i] = s.Read(temps[lo+i])
+	}
+	return dst[:b.bpc]
+}

@@ -1,0 +1,779 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/control"
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// MulticoreConfig parameterizes an N-core simulation: one workload per
+// core on a floorplan.Tile(n) die with cross-core lateral coupling, a
+// private pipeline and power model per core, and per-core control — fetch
+// managers, adjustable-gain DVFS, or a chip-level hierarchical power
+// budget.
+type MulticoreConfig struct {
+	// Workloads holds one profile per core; its length sets the core
+	// count.
+	Workloads []workload.Profile
+	// Pipeline configures every core; zero value uses Table 2 defaults.
+	Pipeline pipeline.Config
+	// Gating is the clock-gating style for the per-core power models.
+	Gating power.GatingStyle
+	// Thresholds are the thermal limits; zero value uses defaults.
+	Thresholds Thresholds
+	// Managers optionally applies one fetch-duty DTM manager per core
+	// (length 0 or exactly the core count). All managers must share one
+	// sampling interval. Mutually exclusive with Budget.
+	Managers []*dtm.Manager
+	// DVFS optionally applies one adjustable-gain integral frequency
+	// controller per core (length 0 or the core count); the commanded
+	// factor gates core clock ticks and scales dynamic power by f^2
+	// (net f^3 power at f throughput). Composable with Managers.
+	DVFS []*dtm.AdaptiveGain
+	// Budget optionally applies the hierarchical global-budget +
+	// local-PI controller over all cores. Mutually exclusive with
+	// Managers.
+	Budget *dtm.PowerBudget
+	// Sensors optionally models per-core non-ideal sensors; nil gives
+	// every controller the true model temperatures.
+	Sensors *sensor.Bank
+	// MaxInsts is the per-core committed-instruction budget.
+	MaxInsts uint64
+	// MaxCycles is a hard cycle bound (safety net; 0 = 50x MaxInsts).
+	MaxCycles uint64
+	// ThermalStride selects the thermal integration mode exactly as in
+	// Config: 0 auto-selects the macro-stepped fast path, 1 forces the
+	// per-cycle Euler path, N>1 sets an explicit window.
+	ThermalStride uint64
+	// InitTemps optionally sets initial block temperatures over the
+	// whole die (core-major, length cores x NumBlocks).
+	InitTemps []float64
+}
+
+// CoreResult is one core's outcome within a multicore run.
+type CoreResult struct {
+	Workload string
+	// Cycles is the cycle on which the core hit its instruction budget
+	// (the full run length if it never did).
+	Cycles          uint64
+	Insts           uint64
+	IPC             float64
+	AvgDuty         float64
+	AvgFreq         float64
+	StallCycles     uint64
+	EmergencyCycles uint64
+	StressCycles    uint64
+	Blocks          []BlockResult
+}
+
+// MulticoreResult is the outcome of a multicore run. Emergency and stress
+// counts at the top level are chip-wide any-block unions; per-core unions
+// live in PerCore.
+type MulticoreResult struct {
+	Workload string
+	Policy   string
+	Cores    int
+
+	Cycles          uint64
+	WallSeconds     float64
+	Insts           uint64
+	IPC             float64
+	AvgChipPower    float64
+	MaxChipPower    float64
+	EmergencyCycles uint64
+	StressCycles    uint64
+
+	PerCore []CoreResult
+}
+
+// EmergencyFrac returns the fraction of cycles any block spent above the
+// emergency threshold.
+func (r *MulticoreResult) EmergencyFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.EmergencyCycles) / float64(r.Cycles)
+}
+
+// StressFrac returns the fraction of cycles any block spent above the
+// stress threshold.
+func (r *MulticoreResult) StressFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StressCycles) / float64(r.Cycles)
+}
+
+// Multicore is a steppable N-core simulation. One global clock drives
+// every core; per-core frequency factors gate core ticks through a carry
+// accumulator, so the die-wide thermal network always advances in uniform
+// wall-clock cycles and the macro-stepped fast path needs no per-core time
+// dilation. Step is allocation-free in the steady state.
+type Multicore struct {
+	cfg   MulticoreConfig
+	nc    int
+	nb    int // blocks per core
+	cores []*pipeline.Core
+	pms   []*power.Model
+	net   *thermal.Network
+	res   *MulticoreResult
+
+	act      pipeline.Activity
+	powerVec []float64 // flat die power, core-major
+	temps    []float64
+	sensed   []float64 // per-core sensor scratch (nb)
+
+	duty      []float64
+	freq      []float64
+	carry     []float64
+	dutySum   []float64
+	freqSum   []float64
+	stallLeft []uint64
+	coreDone  []bool
+	doneCount int
+
+	// Per-sample scratch for the budget controller.
+	sampPow    []float64
+	hotScratch []float64
+	powScratch []float64
+	dutyTarget []float64
+
+	blockTemp []stats.Running
+	blkMax    []float64
+	blkEmerg  []uint64
+	blkStress []uint64
+	coreEmerg []uint64
+	coreStr   []uint64
+	chipPower stats.Running
+
+	// Window-flush scratch: per-core prefix/suffix above-set maxima.
+	emPre, emSuf []uint64
+	stPre, stSuf []uint64
+
+	interval  uint64
+	hasMgr    bool
+	hasDVFS   bool
+	hasBudget bool
+	hasSensor bool
+
+	dt    float64
+	cycle uint64
+
+	fast     bool
+	stride   uint64
+	winLen   uint64
+	winLeft  uint64
+	powerAcc []float64
+	winTss   []float64
+
+	finished bool
+}
+
+// NewMulticore validates cfg and builds a steppable multicore simulation.
+func NewMulticore(cfg MulticoreConfig) (*Multicore, error) {
+	nc := len(cfg.Workloads)
+	if nc == 0 {
+		return nil, fmt.Errorf("sim: multicore run needs at least one workload")
+	}
+	if cfg.MaxInsts == 0 {
+		return nil, fmt.Errorf("sim: MaxInsts must be positive")
+	}
+	if cfg.Pipeline.FetchWidth == 0 {
+		cfg.Pipeline = pipeline.DefaultConfig()
+	}
+	if cfg.Thresholds == (Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds()
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50 * cfg.MaxInsts
+	}
+	if len(cfg.Managers) != 0 && len(cfg.Managers) != nc {
+		return nil, fmt.Errorf("sim: %d managers for %d cores", len(cfg.Managers), nc)
+	}
+	if len(cfg.DVFS) != 0 && len(cfg.DVFS) != nc {
+		return nil, fmt.Errorf("sim: %d DVFS controllers for %d cores", len(cfg.DVFS), nc)
+	}
+	if cfg.Budget != nil && len(cfg.Managers) != 0 {
+		return nil, fmt.Errorf("sim: Budget is mutually exclusive with Managers")
+	}
+	if cfg.Budget != nil && cfg.Budget.Cores() != nc {
+		return nil, fmt.Errorf("sim: budget controller manages %d cores, run has %d", cfg.Budget.Cores(), nc)
+	}
+
+	nb := int(floorplan.NumBlocks)
+	if cfg.Sensors != nil && (cfg.Sensors.Cores() != nc || cfg.Sensors.BlocksPerCore() != nb) {
+		return nil, fmt.Errorf("sim: sensor bank is %dx%d, run is %dx%d",
+			cfg.Sensors.Cores(), cfg.Sensors.BlocksPerCore(), nc, nb)
+	}
+
+	tcfg := thermal.TileConfig(nc)
+	tcfg.SinkTemp = cfg.Thresholds.SinkTemp
+	net := thermal.New(tcfg)
+	nblk := net.NumBlocks()
+	if cfg.InitTemps != nil {
+		if len(cfg.InitTemps) != nblk {
+			return nil, fmt.Errorf("sim: InitTemps has %d entries but the die has %d blocks",
+				len(cfg.InitTemps), nblk)
+		}
+		for i, t := range cfg.InitTemps {
+			net.SetTemp(i, t)
+		}
+	}
+
+	interval := uint64(dtm.DefaultSampleInterval)
+	for i, m := range cfg.Managers {
+		if m == nil {
+			return nil, fmt.Errorf("sim: nil manager for core %d", i)
+		}
+		m.Reset()
+		if i == 0 {
+			interval = m.Interval
+		} else if m.Interval != interval {
+			return nil, fmt.Errorf("sim: managers disagree on sampling interval (%d vs %d)", m.Interval, interval)
+		}
+	}
+	if interval == 0 {
+		return nil, fmt.Errorf("sim: multicore managers need a nonzero sampling interval")
+	}
+	for i, d := range cfg.DVFS {
+		if d == nil {
+			return nil, fmt.Errorf("sim: nil DVFS controller for core %d", i)
+		}
+		d.Reset()
+	}
+	if cfg.Budget != nil {
+		cfg.Budget.Reset()
+	}
+
+	s := &Multicore{
+		cfg:   cfg,
+		nc:    nc,
+		nb:    nb,
+		cores: make([]*pipeline.Core, nc),
+		pms:   make([]*power.Model, nc),
+		net:   net,
+
+		powerVec: make([]float64, nblk),
+		temps:    make([]float64, nblk),
+		sensed:   make([]float64, nb),
+
+		duty:      make([]float64, nc),
+		freq:      make([]float64, nc),
+		carry:     make([]float64, nc),
+		dutySum:   make([]float64, nc),
+		freqSum:   make([]float64, nc),
+		stallLeft: make([]uint64, nc),
+		coreDone:  make([]bool, nc),
+
+		sampPow:    make([]float64, nc),
+		hotScratch: make([]float64, nc),
+		powScratch: make([]float64, nc),
+		dutyTarget: make([]float64, nc),
+
+		blockTemp: make([]stats.Running, nblk),
+		blkMax:    make([]float64, nblk),
+		blkEmerg:  make([]uint64, nblk),
+		blkStress: make([]uint64, nblk),
+		coreEmerg: make([]uint64, nc),
+		coreStr:   make([]uint64, nc),
+
+		emPre: make([]uint64, nc),
+		emSuf: make([]uint64, nc),
+		stPre: make([]uint64, nc),
+		stSuf: make([]uint64, nc),
+
+		interval:  interval,
+		hasMgr:    len(cfg.Managers) > 0,
+		hasDVFS:   len(cfg.DVFS) > 0,
+		hasBudget: cfg.Budget != nil,
+		hasSensor: cfg.Sensors != nil,
+
+		dt: tcfg.CycleTime,
+	}
+	for c := 0; c < nc; c++ {
+		gen, err := workload.NewGenerator(cfg.Workloads[c])
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d workload: %w", c, err)
+		}
+		s.cores[c], err = pipeline.New(cfg.Pipeline, gen)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := power.DefaultConfig()
+		pcfg.Gating = cfg.Gating
+		pcfg.Pipeline = cfg.Pipeline
+		s.pms[c], err = power.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.duty[c] = 1
+		s.freq[c] = 1
+	}
+	net.Temps(s.temps)
+
+	policy := "none"
+	switch {
+	case s.hasBudget:
+		policy = cfg.Budget.Name()
+	case s.hasMgr:
+		policy = cfg.Managers[0].Policy.Name()
+	}
+	if s.hasDVFS {
+		if policy == "none" {
+			policy = cfg.DVFS[0].Name()
+		} else {
+			policy += "+" + cfg.DVFS[0].Name()
+		}
+	}
+	s.res = &MulticoreResult{
+		Workload: cfg.Workloads[0].Name,
+		Policy:   policy,
+		Cores:    nc,
+		PerCore:  make([]CoreResult, nc),
+	}
+	for c := range s.res.PerCore {
+		s.res.PerCore[c].Workload = cfg.Workloads[c].Name
+	}
+
+	stride := cfg.ThermalStride
+	if stride == 0 {
+		stride = DefaultThermalStride
+	}
+	if stride > 1 {
+		s.fast = true
+		s.stride = stride
+		s.powerAcc = make([]float64, nblk)
+		s.winTss = make([]float64, nblk)
+		s.startWindow()
+	}
+	return s, nil
+}
+
+// Cycle returns the number of cycles simulated so far.
+func (s *Multicore) Cycle() uint64 { return s.cycle }
+
+// Done reports whether every core hit its instruction budget or the cycle
+// bound was reached.
+func (s *Multicore) Done() bool {
+	return s.doneCount == s.nc || s.cycle >= s.cfg.MaxCycles
+}
+
+// maxOf returns the maximum of a non-empty slice.
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Step advances every core and the die-wide thermal network by one global
+// clock cycle.
+func (s *Multicore) Step() {
+	s.cycle++
+	cycle := s.cycle
+	res := s.res
+	nb := s.nb
+
+	chip := 0.0
+	for c := 0; c < s.nc; c++ {
+		core := s.cores[c]
+		execute := false
+		switch {
+		case s.stallLeft[c] > 0:
+			s.stallLeft[c]--
+			s.res.PerCore[c].StallCycles++
+		case s.coreDone[c]:
+			// A finished core idles (clock still runs; its power model
+			// decays toward the gated floor).
+		case s.freq[c] == 1:
+			execute = true
+		default:
+			// DVFS tick gating: at factor f the core executes f of the
+			// global clock ticks, carried exactly across cycles.
+			if s.carry[c] += s.freq[c]; s.carry[c] >= 1 {
+				s.carry[c]--
+				execute = true
+			}
+		}
+		if execute {
+			core.Step(&s.act)
+		} else {
+			s.act.Reset()
+		}
+		if !s.coreDone[c] && core.Stats().Committed >= s.cfg.MaxInsts {
+			s.coreDone[c] = true
+			s.doneCount++
+			s.res.PerCore[c].Cycles = cycle
+		}
+
+		seg := s.powerVec[c*nb : (c+1)*nb]
+		s.pms[c].BlockPower(&s.act, seg)
+		pf := 1.0
+		if f := s.freq[c]; f != 1 {
+			pf = f * f
+			for i := range seg {
+				seg[i] *= pf
+			}
+		}
+		// Chip overhead (clock tree, I/O) scales with the core's voltage/
+		// frequency point too, so it rides the same f^2 factor.
+		corePow := pf * s.pms[c].ChipOverhead(&s.act)
+		for _, p := range seg {
+			corePow += p
+		}
+		chip += corePow
+		s.sampPow[c] += corePow
+	}
+	s.chipPower.Add(chip)
+	if chip > res.MaxChipPower {
+		res.MaxChipPower = chip
+	}
+
+	if s.fast {
+		acc := s.powerAcc
+		for i, p := range s.powerVec {
+			acc[i] += p
+		}
+		res.WallSeconds += s.dt
+		if s.winLeft--; s.winLeft == 0 {
+			s.flushWindow(s.winLen)
+			s.startWindow()
+		}
+	} else {
+		s.stepEuler()
+	}
+
+	if cycle%s.interval == 0 {
+		s.sample(cycle)
+	}
+	for c := 0; c < s.nc; c++ {
+		s.dutySum[c] += s.duty[c]
+		s.freqSum[c] += s.freq[c]
+	}
+}
+
+// stepEuler advances the coupled RC network one cycle and does exact
+// per-cycle bookkeeping: per-block stats plus per-core and chip-wide
+// any-block-above unions.
+func (s *Multicore) stepEuler() {
+	s.net.Step(s.powerVec)
+	s.res.WallSeconds += s.dt
+	s.net.Temps(s.temps)
+	emTh := s.cfg.Thresholds.Emergency
+	stTh := s.cfg.Thresholds.Stress
+	chipEm, chipSt := false, false
+	for c := 0; c < s.nc; c++ {
+		coreEm, coreSt := false, false
+		base := c * s.nb
+		for k := 0; k < s.nb; k++ {
+			i := base + k
+			t := s.temps[i]
+			s.blockTemp[i].Add(t)
+			if t > s.blkMax[i] {
+				s.blkMax[i] = t
+			}
+			if t > emTh {
+				s.blkEmerg[i]++
+				coreEm = true
+			}
+			if t > stTh {
+				s.blkStress[i]++
+				coreSt = true
+			}
+		}
+		if coreEm {
+			s.coreEmerg[c]++
+			chipEm = true
+		}
+		if coreSt {
+			s.coreStr[c]++
+			chipSt = true
+		}
+	}
+	if chipEm {
+		s.res.EmergencyCycles++
+	}
+	if chipSt {
+		s.res.StressCycles++
+	}
+}
+
+// startWindow opens a new fast-path accumulation window.
+func (s *Multicore) startWindow() {
+	s.winLen = s.nextWindowLen()
+	s.winLeft = s.winLen
+}
+
+// nextWindowLen clamps the stride so windows end exactly on controller
+// sample boundaries and the cycle bound — every control decision then
+// observes freshly flushed temperatures, as in the solo fast path.
+func (s *Multicore) nextWindowLen() uint64 {
+	c := s.cycle
+	w := s.stride
+	if d := (c/s.interval+1)*s.interval - c; d < w {
+		w = d
+	}
+	if s.cfg.MaxCycles > c {
+		if d := s.cfg.MaxCycles - c; d < w {
+			w = d
+		}
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// flushWindow advances the whole die across a w-cycle window with the
+// closed-form exponential solution (lateral flows frozen at window-start
+// temperatures, including the cross-core edges) and reconstructs the
+// per-cycle bookkeeping analytically. Per-block above-sets are prefixes
+// (cooling) or suffixes (heating) of the window, so the per-core union is
+// min(max prefix + max suffix, w) over the core's blocks, and the chip
+// union the same over all blocks — exactly the solo flushWindow argument
+// applied at two levels.
+func (s *Multicore) flushWindow(w uint64) {
+	res := s.res
+	acc := s.powerAcc
+	fw := float64(w)
+	for i := range acc {
+		acc[i] /= fw
+	}
+	q1, qn, qsum := s.net.WindowCoef(w, 1)
+	s.net.StepWindow(acc, w, 1, s.winTss)
+
+	emTh := s.cfg.Thresholds.Emergency
+	stTh := s.cfg.Thresholds.Stress
+	for c := 0; c < s.nc; c++ {
+		s.emPre[c], s.emSuf[c], s.stPre[c], s.stSuf[c] = 0, 0, 0, 0
+	}
+	for i := range acc {
+		c := i / s.nb
+		tss := s.winTss[i]
+		d0 := s.temps[i] - tss
+		t1 := tss + d0*q1[i]
+		tw := tss + d0*qn[i]
+		lo, hi := t1, tw
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s.blockTemp[i].AddSpan(w, tss*fw+d0*qsum[i], lo, hi)
+		if hi > s.blkMax[i] {
+			s.blkMax[i] = hi
+		}
+		lnq := s.net.LogDecay(i)
+		if n, prefix := windowAbove(tss, d0, lnq, w, emTh, t1, tw); n > 0 {
+			s.blkEmerg[i] += n
+			if prefix {
+				if n > s.emPre[c] {
+					s.emPre[c] = n
+				}
+			} else if n > s.emSuf[c] {
+				s.emSuf[c] = n
+			}
+		}
+		if n, prefix := windowAbove(tss, d0, lnq, w, stTh, t1, tw); n > 0 {
+			s.blkStress[i] += n
+			if prefix {
+				if n > s.stPre[c] {
+					s.stPre[c] = n
+				}
+			} else if n > s.stSuf[c] {
+				s.stSuf[c] = n
+			}
+		}
+		acc[i] = 0
+	}
+	var chipEmPre, chipEmSuf, chipStPre, chipStSuf uint64
+	for c := 0; c < s.nc; c++ {
+		if u := s.emPre[c] + s.emSuf[c]; u > 0 {
+			if u > w {
+				u = w
+			}
+			s.coreEmerg[c] += u
+		}
+		if u := s.stPre[c] + s.stSuf[c]; u > 0 {
+			if u > w {
+				u = w
+			}
+			s.coreStr[c] += u
+		}
+		if s.emPre[c] > chipEmPre {
+			chipEmPre = s.emPre[c]
+		}
+		if s.emSuf[c] > chipEmSuf {
+			chipEmSuf = s.emSuf[c]
+		}
+		if s.stPre[c] > chipStPre {
+			chipStPre = s.stPre[c]
+		}
+		if s.stSuf[c] > chipStSuf {
+			chipStSuf = s.stSuf[c]
+		}
+	}
+	if u := chipEmPre + chipEmSuf; u > 0 {
+		if u > w {
+			u = w
+		}
+		res.EmergencyCycles += u
+	}
+	if u := chipStPre + chipStSuf; u > 0 {
+		if u > w {
+			u = w
+		}
+		res.StressCycles += u
+	}
+	s.net.Temps(s.temps)
+}
+
+// coreObs returns core c's observed block temperatures: the true model
+// temperatures, or the sensor bank's view of them.
+func (s *Multicore) coreObs(c int) []float64 {
+	if s.hasSensor {
+		return s.cfg.Sensors.Read(c, s.temps, s.sensed)
+	}
+	return s.temps[c*s.nb : (c+1)*s.nb]
+}
+
+// sample runs every controller at a sampling boundary. Windows are clamped
+// to end here, so s.temps is fresh on both thermal paths.
+func (s *Multicore) sample(cycle uint64) {
+	for c := 0; c < s.nc; c++ {
+		if s.stallLeft[c] > 0 {
+			continue // stalled cores skip sampling, as in the solo loop
+		}
+		if s.hasMgr || s.hasDVFS || s.hasBudget {
+			obs := s.coreObs(c)
+			if s.hasMgr {
+				a, stall := s.cfg.Managers[c].StepActuation(cycle, obs)
+				if a.FetchDuty != s.duty[c] {
+					s.duty[c] = a.FetchDuty
+					s.cores[c].SetFetchDuty(a.FetchDuty)
+				}
+				s.cores[c].SetFetchLimit(a.FetchLimit)
+				s.cores[c].SetMaxUnresolvedBranches(a.MaxUnresolved)
+				s.stallLeft[c] += stall
+			}
+			if s.hasDVFS {
+				s.freq[c] = s.cfg.DVFS[c].Sample(obs)
+			}
+			if s.hasBudget {
+				s.hotScratch[c] = maxOf(obs)
+			}
+		}
+	}
+	if s.hasBudget {
+		inv := 1 / float64(s.interval)
+		for c := 0; c < s.nc; c++ {
+			s.powScratch[c] = s.sampPow[c] * inv
+			s.sampPow[c] = 0
+		}
+		s.cfg.Budget.SampleAll(s.hotScratch, s.powScratch, s.dutyTarget)
+		for c := 0; c < s.nc; c++ {
+			d := control.Quantize(s.dutyTarget[c], 8)
+			if d != s.duty[c] {
+				s.duty[c] = d
+				s.cores[c].SetFetchDuty(d)
+			}
+		}
+	} else {
+		for c := 0; c < s.nc; c++ {
+			s.sampPow[c] = 0
+		}
+	}
+}
+
+// Finish seals the run and returns the result. It is idempotent.
+func (s *Multicore) Finish() *MulticoreResult {
+	res := s.res
+	if s.finished {
+		return res
+	}
+	s.finished = true
+	if s.fast {
+		if elapsed := s.winLen - s.winLeft; elapsed > 0 {
+			s.flushWindow(elapsed)
+		}
+	}
+	res.Cycles = s.cycle
+	var insts uint64
+	for c := 0; c < s.nc; c++ {
+		cr := &res.PerCore[c]
+		st := s.cores[c].Stats()
+		cr.Insts = st.Committed
+		if cr.Cycles == 0 {
+			cr.Cycles = s.cycle
+		}
+		if cr.Cycles > 0 {
+			cr.IPC = float64(cr.Insts) / float64(cr.Cycles)
+		}
+		if s.cycle > 0 {
+			cr.AvgDuty = s.dutySum[c] / float64(s.cycle)
+			cr.AvgFreq = s.freqSum[c] / float64(s.cycle)
+		}
+		cr.EmergencyCycles = s.coreEmerg[c]
+		cr.StressCycles = s.coreStr[c]
+		cr.Blocks = make([]BlockResult, s.nb)
+		for k := 0; k < s.nb; k++ {
+			i := c*s.nb + k
+			cr.Blocks[k] = BlockResult{
+				Name:            floorplan.BlockID(k).String(),
+				AvgTemp:         s.blockTemp[i].Mean(),
+				MaxTemp:         s.blkMax[i],
+				EmergencyCycles: s.blkEmerg[i],
+				StressCycles:    s.blkStress[i],
+			}
+		}
+		insts += cr.Insts
+	}
+	res.Insts = insts
+	if s.cycle > 0 {
+		res.IPC = float64(insts) / float64(s.cycle)
+	}
+	res.AvgChipPower = s.chipPower.Mean()
+	return res
+}
+
+// Run steps the simulation to completion, polling ctx every few thousand
+// cycles and yielding the processor at each checkpoint (see Sim.Run).
+func (s *Multicore) Run(ctx context.Context) (*MulticoreResult, error) {
+	done := ctx.Done()
+	check := uint64(ctxCheckInterval)
+	for !s.Done() {
+		s.Step()
+		if s.cycle >= check {
+			check = s.cycle + ctxCheckInterval
+			if done != nil {
+				select {
+				case <-done:
+					return nil, context.Cause(ctx)
+				default:
+				}
+			}
+			runtime.Gosched()
+		}
+	}
+	return s.Finish(), nil
+}
+
+// RunMulticore executes one multicore simulation to completion.
+func RunMulticore(ctx context.Context, cfg MulticoreConfig) (*MulticoreResult, error) {
+	s, err := NewMulticore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
+}

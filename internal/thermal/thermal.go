@@ -50,6 +50,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// TileConfig returns the configuration for an n-core die built from
+// floorplan.Tile(n): n replicas of the Table 3 blocks with lateral
+// tangential coupling always enabled, so heat flows across core boundaries
+// through the same Equation-4 resistances as within a core. TileConfig(1)
+// is DefaultConfig with Tangential on — the multicore family is uniform in
+// its physics even at one core.
+func TileConfig(n int) Config {
+	return Config{
+		Blocks:     floorplan.Tile(n),
+		SinkTemp:   100.0,
+		CycleTime:  1.0 / 1.5e9,
+		Tangential: true,
+	}
+}
+
 // Network is the lumped per-block RC model. All temperatures are Celsius.
 // Per-block state is held in structure-of-arrays form so both the
 // per-cycle Euler step and the macro-stepped window advance stream through

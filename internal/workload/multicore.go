@@ -1,0 +1,105 @@
+package workload
+
+import "hash/fnv"
+
+// Core-to-core thermal interaction scenarios for multicore runs: each
+// returns one Profile per core, all sharing the scenario name. The hot
+// phase is an art-like FP kernel (tight loops, streaming working set) that
+// drives a core toward the emergency threshold; the cool phase is a
+// vpr-like branchy integer mix that idles well below it.
+
+// hotPhase returns the thermally aggressive phase template.
+func hotPhase(insts uint64) Phase {
+	return Phase{
+		Insts:            insts,
+		Mix:              Mix{IntALU: 20, FPALU: 30, FPMult: 10, Load: 22, Store: 8, Branch: 8, Call: 0.5},
+		DepMean:          12,
+		NumLoops:         4,
+		BodySize:         64,
+		LoopIters:        200,
+		BranchRandomFrac: 0.02,
+		BranchBias:       0.7,
+		WorkingSet:       64 << 10,
+		StreamFrac:       0.95,
+	}
+}
+
+// coolPhase returns the thermally benign phase template.
+func coolPhase(insts uint64) Phase {
+	return Phase{
+		Insts:            insts,
+		Mix:              Mix{IntALU: 42, IntMult: 2, Load: 22, Store: 10, Branch: 16, Call: 1},
+		DepMean:          2.5,
+		NumLoops:         24,
+		BodySize:         40,
+		LoopIters:        20,
+		BranchRandomFrac: 0.4,
+		BranchBias:       0.45,
+		WorkingSet:       4 << 20,
+		StreamFrac:       0.15,
+	}
+}
+
+// coreSeed derives a stable per-core seed from the scenario name.
+func coreSeed(scenario string, core int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(scenario))
+	h.Write([]byte{byte(core), byte(core >> 8)})
+	return h.Sum64()
+}
+
+// HotNeighbor returns the hot-neighbor scenario: core 0 runs the hot
+// kernel continuously while every other core runs cool — the victim cores
+// heat only through lateral cross-core coupling and any chip-level
+// controller's reaction.
+func HotNeighbor(cores int) []Profile {
+	const name = "hotneighbor"
+	ps := make([]Profile, cores)
+	for c := range ps {
+		ph := coolPhase(1 << 20)
+		if c == 0 {
+			ph = hotPhase(1 << 20)
+		}
+		ps[c] = Profile{Name: name, Seed: coreSeed(name, c), Phases: []Phase{ph}}
+	}
+	return ps
+}
+
+// Migration returns the thread-migration scenario: a single hot thread
+// hops core to core every period instructions (core c is hot in phase c),
+// so each core sees a heating burst followed by cooling while its
+// neighbor heats.
+func Migration(cores int, period uint64) []Profile {
+	const name = "migration"
+	ps := make([]Profile, cores)
+	for c := range ps {
+		phases := make([]Phase, cores)
+		for p := range phases {
+			if p == c {
+				phases[p] = hotPhase(period)
+			} else {
+				phases[p] = coolPhase(period)
+			}
+		}
+		ps[c] = Profile{Name: name, Seed: coreSeed(name, c), Phases: phases}
+	}
+	return ps
+}
+
+// Staggered returns the staggered-phases scenario: every core alternates
+// hot and cool phases of period instructions, with odd cores half a
+// period out of phase — adjacent cores take turns being the hot one.
+func Staggered(cores int, period uint64) []Profile {
+	const name = "staggered"
+	ps := make([]Profile, cores)
+	for c := range ps {
+		var phases []Phase
+		if c%2 == 0 {
+			phases = []Phase{hotPhase(period), coolPhase(period)}
+		} else {
+			phases = []Phase{coolPhase(period), hotPhase(period)}
+		}
+		ps[c] = Profile{Name: name, Seed: coreSeed(name, c), Phases: phases}
+	}
+	return ps
+}

@@ -23,7 +23,25 @@ C="http://127.0.0.1:${P0}"
 W1="http://127.0.0.1:${P1}"
 W2="http://127.0.0.1:${P2}"
 DIR="$(mktemp -d)"
-trap 'kill -9 "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${W3_PID:-}" "${W4_PID:-}" 2>/dev/null || true; rm -rf "${DIR}"' EXIT
+
+# Under `set -e` any failing assertion lands here: kill the fleet, and on
+# a nonzero exit dump every coordinator/worker log so CI failures are
+# diagnosable from the job transcript alone.
+cleanup() {
+  rc=$?
+  kill -9 "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${W3_PID:-}" "${W4_PID:-}" 2>/dev/null || true
+  if [ "${rc}" -ne 0 ]; then
+    echo "== cluster smoke failed (exit ${rc}); logs follow" >&2
+    for f in "${DIR}"/*.log; do
+      [ -e "${f}" ] || continue
+      echo "--- ${f##*/}" >&2
+      cat "${f}" >&2
+    done
+  fi
+  rm -rf "${DIR}"
+  exit "${rc}"
+}
+trap cleanup EXIT
 
 go build -o "${DIR}/serve" ./cmd/serve
 go build -o "${DIR}/loadgen" ./cmd/loadgen
@@ -39,7 +57,6 @@ wait_healthy() { # $1 = base URL, $2 = name
     sleep 0.2
   done
   echo "$2 never became healthy"
-  cat "${DIR}"/*.log || true
   exit 1
 }
 
@@ -67,10 +84,10 @@ curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/batch.json" &
 BATCH_PID=$!
 sleep 1
 kill -9 "${W1_PID}"
-wait "${BATCH_PID}" || { echo "batch request failed"; cat "${DIR}/coord.log"; exit 1; }
+wait "${BATCH_PID}" || { echo "batch request failed"; exit 1; }
 grep -q '"failed": 0' "${DIR}/batch.json" || {
   echo "batch reported failures after worker kill:";
-  grep -E '"failed"|"errors"' "${DIR}/batch.json"; cat "${DIR}/coord.log"; exit 1; }
+  grep -E '"failed"|"errors"' "${DIR}/batch.json"; exit 1; }
 RUNS=$(grep -c '"benchmark"' "${DIR}/batch.json")
 echo "batch completed: ${RUNS} runs, 0 failed"
 
@@ -81,9 +98,9 @@ for i in $(seq 1 50); do
   if grep -q "^cluster_workers_up 1" "${DIR}/metrics.txt"; then DOWN_OK=1; break; fi
   sleep 0.2
 done
-[ "${DOWN_OK}" = 1 ] || { echo "worker 1 never marked down"; cat "${DIR}/coord.log"; exit 1; }
+[ "${DOWN_OK}" = 1 ] || { echo "worker 1 never marked down"; exit 1; }
 grep -q "marked down" "${DIR}/coord.log" || {
-  echo "coordinator log missing mark-down line"; cat "${DIR}/coord.log"; exit 1; }
+  echo "coordinator log missing mark-down line"; exit 1; }
 
 echo "== restarted worker is marked back up"
 start_worker "${P1}" "${DIR}/w1b.log" "${DIR}/cache1"
@@ -95,9 +112,9 @@ for i in $(seq 1 50); do
   if grep -q "^cluster_workers_up 2" "${DIR}/metrics.txt"; then UP_OK=1; break; fi
   sleep 0.2
 done
-[ "${UP_OK}" = 1 ] || { echo "restarted worker never marked up"; cat "${DIR}/coord.log"; exit 1; }
+[ "${UP_OK}" = 1 ] || { echo "restarted worker never marked up"; exit 1; }
 grep -q "marked up" "${DIR}/coord.log" || {
-  echo "coordinator log missing mark-up line"; cat "${DIR}/coord.log"; exit 1; }
+  echo "coordinator log missing mark-up line"; exit 1; }
 
 echo "== loadgen through the coordinator"
 "${DIR}/loadgen" -url "${C}" -duration 3s -concurrency 4 -insts 100000 \
@@ -117,9 +134,9 @@ for i in $(seq 1 40); do
 done
 kill -0 "${COORD_PID}" 2>/dev/null && { echo "coordinator did not exit"; exit 1; }
 wait "${COORD_PID}" && RC=0 || RC=$?
-[ "${RC}" = 0 ] || { echo "coordinator exited ${RC}"; cat "${DIR}/coord.log"; exit 1; }
+[ "${RC}" = 0 ] || { echo "coordinator exited ${RC}"; exit 1; }
 grep -q "drained, shut down" "${DIR}/coord.log" || {
-  echo "coordinator log missing drain confirmation"; cat "${DIR}/coord.log"; exit 1; }
+  echo "coordinator log missing drain confirmation"; exit 1; }
 
 kill -INT "${W1_PID}" "${W2_PID}" 2>/dev/null || true
 
@@ -148,16 +165,16 @@ wait_healthy "${C}" "pack coordinator"
 curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/pack_ref.json"
 grep -q '"failed": 0' "${DIR}/pack_ref.json" || {
   echo "pack reference batch reported failures:";
-  grep -E '"failed"|"errors"' "${DIR}/pack_ref.json"; cat "${DIR}/coord_pack.log"; exit 1; }
+  grep -E '"failed"|"errors"' "${DIR}/pack_ref.json"; exit 1; }
 
 curl -fsS "${C}/batch?policies=PI,PID&insts=400000" >"${DIR}/pack_kill.json" &
 BATCH_PID=$!
 sleep 1
 kill -9 "${W3_PID}"
-wait "${BATCH_PID}" || { echo "pack batch request failed"; cat "${DIR}/coord_pack.log"; exit 1; }
+wait "${BATCH_PID}" || { echo "pack batch request failed"; exit 1; }
 grep -q '"failed": 0' "${DIR}/pack_kill.json" || {
   echo "pack batch reported failures after worker kill:";
-  grep -E '"failed"|"errors"' "${DIR}/pack_kill.json"; cat "${DIR}/coord_pack.log"; exit 1; }
+  grep -E '"failed"|"errors"' "${DIR}/pack_kill.json"; exit 1; }
 cmp -s "${DIR}/pack_ref.json" "${DIR}/pack_kill.json" || {
   echo "pack batch merge not byte-identical after SIGKILL:";
   diff "${DIR}/pack_ref.json" "${DIR}/pack_kill.json" | head -20; exit 1; }
@@ -170,7 +187,7 @@ start_pack_worker "${P3}" "${DIR}/w3b.log" "${DIR}/pack1"
 W3_PID=$!
 wait_healthy "${W3}" "rebuilt pack worker"
 curl -fsS "${W3}/run?bench=gcc&policy=PI&insts=100000" >/dev/null || {
-  echo "rebuilt pack worker cannot serve"; cat "${DIR}/w3b.log"; exit 1; }
+  echo "rebuilt pack worker cannot serve"; exit 1; }
 
 kill -INT "${COORD_PID}" "${W3_PID}" "${W4_PID}" 2>/dev/null || true
 echo "cluster smoke OK"

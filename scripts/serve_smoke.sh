@@ -18,7 +18,25 @@ PORT="${SMOKE_PORT:-8741}"
 URL="http://127.0.0.1:${PORT}"
 DIR="$(mktemp -d)"
 SERVE_LOG="${DIR}/serve.log"
-trap 'kill -9 "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "${DIR}"' EXIT
+
+# Under `set -e` any failing assertion lands here: kill the server, and on
+# a nonzero exit dump every server log so CI failures are diagnosable from
+# the job transcript alone.
+cleanup() {
+  rc=$?
+  kill -9 "${SERVE_PID:-}" 2>/dev/null || true
+  if [ "${rc}" -ne 0 ]; then
+    echo "== smoke failed (exit ${rc}); server logs follow" >&2
+    for f in "${DIR}"/*.log; do
+      [ -e "${f}" ] || continue
+      echo "--- ${f##*/}" >&2
+      cat "${f}" >&2
+    done
+  fi
+  rm -rf "${DIR}"
+  exit "${rc}"
+}
+trap cleanup EXIT
 
 go build -o "${DIR}/serve" ./cmd/serve
 go build -o "${DIR}/loadgen" ./cmd/loadgen
@@ -32,7 +50,7 @@ SERVE_PID=$!
 
 for i in $(seq 1 50); do
   curl -fsS "${URL}/healthz" >/dev/null 2>&1 && break
-  [ "$i" = 50 ] && { echo "serve never became healthy"; cat "${SERVE_LOG}"; exit 1; }
+  [ "$i" = 50 ] && { echo "serve never became healthy"; exit 1; }
   sleep 0.2
 done
 
@@ -65,10 +83,10 @@ for i in $(seq 1 60); do
   if ! kill -0 "${SERVE_PID}" 2>/dev/null; then DRAIN_OK=1; break; fi
   sleep 0.5
 done
-[ "${DRAIN_OK}" = 1 ] || { echo "serve did not exit after SIGINT"; cat "${SERVE_LOG}"; exit 1; }
+[ "${DRAIN_OK}" = 1 ] || { echo "serve did not exit after SIGINT"; exit 1; }
 wait "${SERVE_PID}" && RC=0 || RC=$?
-[ "${RC}" = 0 ] || { echo "serve exited ${RC} (drain failed)"; cat "${SERVE_LOG}"; exit 1; }
+[ "${RC}" = 0 ] || { echo "serve exited ${RC} (drain failed)"; exit 1; }
 grep -q "drained, shut down" "${SERVE_LOG}" || {
-  echo "serve log missing drain confirmation"; cat "${SERVE_LOG}"; exit 1; }
+  echo "serve log missing drain confirmation"; exit 1; }
 
 echo "smoke OK"
