@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/packstore"
 	"repro/internal/power"
+	"repro/internal/runindex"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -122,6 +123,41 @@ type GangLaneStats struct {
 	SpeedupSharedVsSolo float64       `json:"speedup_shared_cal_vs_solo"`
 }
 
+// IndexStats is the run-catalog lane (T1-T5): a population of records
+// with realistic dimension spreads is ingested into an on-disk catalog,
+// then queried every way the /query endpoint supports. T2's range scan
+// and T5's full scan answer the same ~1%-selectivity filter, so their
+// ratio is the B+-tree's win over brute force at this population.
+type IndexStats struct {
+	Records int `json:"records"`
+
+	T1LookupPerSec  float64 `json:"t1_point_lookups_per_sec"`
+	T2RangePerSec   float64 `json:"t2_range_queries_per_sec"`
+	T2RangeRows     int     `json:"t2_range_rows"`
+	T3IngestPerSec  float64 `json:"t3_ingest_records_per_sec"`
+	T4CompositeSec  float64 `json:"t4_composite_queries_per_sec"`
+	T4CompositeRows int     `json:"t4_composite_rows"`
+	T5FullScanSec   float64 `json:"t5_full_scans_per_sec"`
+
+	SpeedupRangeVsScan float64 `json:"speedup_range_vs_full_scan"`
+	LogBytes           int64   `json:"log_bytes"`
+	ColdReopenSeconds  float64 `json:"cold_reopen_seconds"`
+}
+
+// ParallelStats is the fixed-GOMAXPROCS batch reference: the baseline
+// suite serial vs parallel with the scheduler pinned to 4 procs, so the
+// number is comparable across hosts regardless of their core count (on
+// a single-CPU host the speedup honestly sits near 1).
+type ParallelStats struct {
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	Runs            int     `json:"runs"`
+	InstsPerRun     uint64  `json:"insts_per_run"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
 // Report is the BENCH_runner.json schema. v2 added the macro-stepped
 // fast path (dtm_pi measures it; dtm_pi_euler keeps the per-cycle Euler
 // baseline) and the run-cache cold/warm measurement. v3 normalizes
@@ -129,7 +165,10 @@ type GangLaneStats struct {
 // Step replays a whole thermal window) and adds the surrogate suite
 // comparison. v4 adds the result-store section (pack vs flat backend;
 // refresh it alone with -only store). v5 adds the gang-execution lane
-// (policy suite solo vs ganged; refresh with -only gang).
+// (policy suite solo vs ganged; refresh with -only gang). v6 adds the
+// run-catalog lane (point/range/composite queries vs full scan; refresh
+// with -only index) and the GOMAXPROCS=4 parallel reference (-only
+// parallel).
 type Report struct {
 	Schema     string                `json:"schema"`
 	Date       string                `json:"date"`
@@ -147,6 +186,10 @@ type Report struct {
 	SpeedupParallelVsSerial float64     `json:"speedup_parallel_vs_serial"`
 	RunCache                *CacheStats `json:"run_cache,omitempty"`
 	ResultStore             *StoreStats `json:"result_store,omitempty"`
+	// Index is the run-catalog query lane (see IndexStats).
+	Index *IndexStats `json:"run_index,omitempty"`
+	// Parallel is the fixed-GOMAXPROCS batch reference (see ParallelStats).
+	Parallel *ParallelStats `json:"parallel_reference,omitempty"`
 	Notes                   string      `json:"notes,omitempty"`
 	// SeedReference preserves the pre-engine numbers for comparison.
 	SeedReference map[string]any `json:"seed_reference,omitempty"`
@@ -523,6 +566,147 @@ func measureStore(n, flatN int) (StoreStats, error) {
 	return st, nil
 }
 
+var (
+	idxBenches  = []string{"gzip", "gcc", "art", "mesa", "vpr", "equake", "crafty", "wupwise"}
+	idxPolicies = []string{"", "PI", "PID", "toggle1", "toggle2", "M"}
+)
+
+// idxRecord fabricates one catalog row with realistic dimension spreads:
+// 400 distinct trigger values over [108,112) so a 0.04-wide range filter
+// selects ~1% of the population.
+func idxRecord(i int) runindex.Record {
+	return runindex.Record{
+		Key:    fmt.Sprintf("idx%061d", i),
+		Bench:  idxBenches[i%len(idxBenches)],
+		Policy: idxPolicies[i%len(idxPolicies)],
+
+		Trigger:  108 + float64(i%400)*0.01,
+		Kp:       float64(i%16) * 0.25,
+		Ki:       float64(i%8) * 0.5,
+		Interval: float64(int(250) << (i % 7)),
+		Stride:   float64((i % 4) * 64),
+		Cores:    1,
+		Insts:    1_000_000,
+
+		IPC:       0.5 + float64(i%1000)/2000,
+		AvgPower:  30 + float64(i%100)/10,
+		AvgDuty:   1 - float64(i%10)/20,
+		EmergFrac: float64(i%50) / 500,
+		Cycles:    2_000_000,
+	}
+}
+
+// measureIndex runs the run-catalog lane over n records on disk.
+func measureIndex(n int) (IndexStats, error) {
+	st := IndexStats{Records: n}
+	dir, err := os.MkdirTemp("", "benchrec-index-*")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+	cat, err := runindex.Open(dir, runindex.Options{Capacity: n})
+	if err != nil {
+		return st, err
+	}
+
+	// T3: ingest throughput (log append + every secondary index).
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if !cat.Ingest(idxRecord(i)) {
+			return st, fmt.Errorf("benchrec: duplicate ingest at %d", i)
+		}
+	}
+	st.T3IngestPerSec = float64(n) / time.Since(start).Seconds()
+	if fi, err := os.Stat(dir + "/catalog.log"); err == nil {
+		st.LogBytes = fi.Size()
+	}
+
+	// T1: point lookups in deterministic non-sequential order.
+	samples := n
+	if samples > 200_000 {
+		samples = 200_000
+	}
+	const stride = 1_000_003
+	start = time.Now()
+	for i := 0; i < samples; i++ {
+		if _, ok := cat.Get(idxRecord(i * stride % n).Key); !ok {
+			return st, fmt.Errorf("benchrec: lookup miss at %d", i)
+		}
+	}
+	st.T1LookupPerSec = float64(samples) / time.Since(start).Seconds()
+
+	// T2 vs T5: the same ~1%-selectivity trigger filter answered by the
+	// index's range scan and by brute force over every record.
+	q := runindex.Query{Limit: n}
+	q.Dims[runindex.DimTrigger] = runindex.RangeFilter{Lo: 110, Hi: 110.04, Set: true}
+	visit := func(*runindex.Record) bool { return true }
+	const rangeIters = 400
+	start = time.Now()
+	for i := 0; i < rangeIters; i++ {
+		st.T2RangeRows = cat.Execute(&q, visit)
+	}
+	rangeSec := time.Since(start).Seconds() / rangeIters
+	st.T2RangePerSec = 1 / rangeSec
+
+	const scanIters = 20
+	start = time.Now()
+	for i := 0; i < scanIters; i++ {
+		if rows := cat.FullScan(&q, visit); rows != st.T2RangeRows {
+			return st, fmt.Errorf("benchrec: full scan found %d rows, range scan %d", rows, st.T2RangeRows)
+		}
+	}
+	scanSec := time.Since(start).Seconds() / scanIters
+	st.T5FullScanSec = 1 / scanSec
+	st.SpeedupRangeVsScan = scanSec / rangeSec
+
+	// T4: composite query — string equality narrows a wide numeric range.
+	qc := runindex.Query{Bench: "gcc", Policy: "PI", Limit: n}
+	qc.Dims[runindex.DimTrigger] = runindex.RangeFilter{Lo: 109, Hi: 111, Set: true}
+	const compIters = 40
+	start = time.Now()
+	for i := 0; i < compIters; i++ {
+		st.T4CompositeRows = cat.Execute(&qc, visit)
+	}
+	st.T4CompositeSec = float64(compIters) / time.Since(start).Seconds()
+
+	if err := cat.Close(); err != nil {
+		return st, err
+	}
+	start = time.Now()
+	cat2, err := runindex.Open(dir, runindex.Options{Capacity: n})
+	if err != nil {
+		return st, err
+	}
+	st.ColdReopenSeconds = time.Since(start).Seconds()
+	if cat2.Len() != n {
+		return st, fmt.Errorf("benchrec: cold reopen lost records: %d of %d", cat2.Len(), n)
+	}
+	return st, cat2.Close()
+}
+
+// measureParallel pins GOMAXPROCS to 4 and times the baseline suite
+// serial vs parallel, restoring the scheduler before returning.
+func measureParallel(insts uint64) (ParallelStats, error) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	st := ParallelStats{GoMaxProcs: 4, NumCPU: runtime.NumCPU(), InstsPerRun: insts}
+	serial, err := measureBatch(insts, 1)
+	if err != nil {
+		return st, err
+	}
+	par, err := measureBatch(insts, 4)
+	if err != nil {
+		return st, err
+	}
+	st.Runs = serial.Runs
+	st.SerialSeconds = serial.Seconds
+	st.ParallelSeconds = par.Seconds
+	if par.Seconds > 0 {
+		st.Speedup = serial.Seconds / par.Seconds
+	}
+	return st, nil
+}
+
 // loadReport reads an existing BENCH_runner.json so a single section can
 // be refreshed in place.
 func loadReport(path string) (Report, error) {
@@ -553,11 +737,12 @@ func main() {
 		cycles       = flag.Uint64("cycles", 2_000_000, "cycles per hot-loop measurement")
 		suiteInsts   = flag.Uint64("suite-insts", 8_000_000, "instructions per suite surrogate-comparison run")
 		suitePol     = flag.String("suite-policy", "none", "DTM policy for the suite surrogate comparison")
-		only         = flag.String("only", "", "refresh a single section in the existing -out file: store | gang")
+		only         = flag.String("only", "", "refresh a single section in the existing -out file: store | gang | index | parallel")
 		gangBench    = flag.String("gang-bench", "suite", "workloads for the gang-execution lane: \"suite\" or a comma-separated list")
 		gangInsts    = flag.Uint64("gang-insts", 2_000_000, "instructions per run in the gang-execution lane")
 		storeEntries = flag.Int("store-entries", 100_000, "entries for the result-store comparison")
 		storeFlatCap = flag.Int("store-flat-entries", 0, "flat-store population cap (0 = min(store-entries, 200000))")
+		indexEntries = flag.Int("index-entries", 120_000, "records for the run-catalog query lane")
 	)
 	flag.Parse()
 
@@ -604,12 +789,42 @@ func main() {
 		printGang(gang)
 		return
 	}
+	if *only == "index" {
+		rep, err := loadReport(*out)
+		if err != nil {
+			fatal(fmt.Errorf("benchrec: -only index refreshes an existing report: %w", err))
+		}
+		idx, err := measureIndex(*indexEntries)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Schema = "repro/bench_runner/v6"
+		rep.Index = &idx
+		writeReport(*out, rep)
+		printIndex(idx)
+		return
+	}
+	if *only == "parallel" {
+		rep, err := loadReport(*out)
+		if err != nil {
+			fatal(fmt.Errorf("benchrec: -only parallel refreshes an existing report: %w", err))
+		}
+		par, err := measureParallel(*insts)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Schema = "repro/bench_runner/v6"
+		rep.Parallel = &par
+		writeReport(*out, rep)
+		printParallel(par)
+		return
+	}
 	if *only != "" {
 		fatal(fmt.Errorf("benchrec: unknown -only section %q", *only))
 	}
 
 	rep := Report{
-		Schema:     "repro/bench_runner/v5",
+		Schema:     "repro/bench_runner/v6",
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -686,6 +901,18 @@ func main() {
 	rep.ResultStore = &store
 	fmt.Fprintf(os.Stderr, "result store (%d entries): pack %.1fx put / %.1fx get vs flat, rebuild %.3fs\n",
 		*storeEntries, store.SpeedupPutPackVsFlat, store.SpeedupGetPackVsFlat, store.PackRebuildSeconds)
+	idx, err := measureIndex(*indexEntries)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Index = &idx
+	printIndex(idx)
+	par, err := measureParallel(*insts)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Parallel = &par
+	printParallel(par)
 	rep.Notes = "dtm_pi measures the macro-stepped thermal fast path " +
 		"(256-cycle windows); dtm_pi_euler pins the per-cycle Euler solve " +
 		"on the same host for a clean before/after. The thermal solve is a " +
@@ -709,6 +936,20 @@ func gangBenchList(arg string) []string {
 		return core.Benchmarks()
 	}
 	return strings.Split(arg, ",")
+}
+
+func printIndex(idx IndexStats) {
+	fmt.Fprintf(os.Stderr,
+		"run index (%d records): T1 lookup %.0f/s, T2 range %.0f/s (%d rows), T3 ingest %.0f/s, T4 composite %.0f/s (%d rows), T5 scan %.1f/s — range %.0fx over scan, reopen %.3fs\n",
+		idx.Records, idx.T1LookupPerSec, idx.T2RangePerSec, idx.T2RangeRows,
+		idx.T3IngestPerSec, idx.T4CompositeSec, idx.T4CompositeRows,
+		idx.T5FullScanSec, idx.SpeedupRangeVsScan, idx.ColdReopenSeconds)
+}
+
+func printParallel(p ParallelStats) {
+	fmt.Fprintf(os.Stderr,
+		"parallel reference (GOMAXPROCS=%d, %d cpus): serial %.2fs parallel %.2fs (%.2fx)\n",
+		p.GoMaxProcs, p.NumCPU, p.SerialSeconds, p.ParallelSeconds, p.Speedup)
 }
 
 func printGang(g GangLaneStats) {

@@ -44,6 +44,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/packstore"
+	"repro/internal/runindex"
 	"repro/internal/runner"
 	"repro/internal/serving"
 	"repro/internal/sim"
@@ -88,9 +91,10 @@ type batchState struct {
 // drainer and the batch table.
 type server struct {
 	cfg   serverConfig
-	reg   *telemetry.Registry
-	sm    *telemetry.ServingMetrics
-	cache *runner.Cache[*sim.Result] // nil = no run cache
+	reg     *telemetry.Registry
+	sm      *telemetry.ServingMetrics
+	cache   *runner.Cache[*sim.Result] // nil = no run cache
+	catalog *runindex.Catalog          // nil = no catalog (no cache dir)
 	adm   *serving.Admission
 	drain *serving.Drainer
 	ids   *serving.RequestIDs
@@ -138,6 +142,28 @@ func newServer(parent context.Context, cfg serverConfig, logf func(format string
 			cache.SetFaultHook(cfg.chaos.DiskFault)
 		}
 		s.cache = cache
+
+		// The run catalog rides next to the cache: every Put is flattened
+		// into the dimension index, and an empty catalog over a populated
+		// pack store (first boot after enabling the catalog, or a lost
+		// catalog log) is rebuilt from a store scan.
+		catalog, err := runindex.Open(filepath.Join(cfg.cacheDir, "catalog"),
+			runindex.Options{Metrics: telemetry.NewIndexMetrics(reg)})
+		if err != nil {
+			cache.Close()
+			return nil, nil, err
+		}
+		if ps, ok := cache.Store().(*packstore.Store); ok && catalog.Len() == 0 && ps.Len() > 0 {
+			if n, err := catalog.RebuildFromStore(ps); err != nil {
+				logf("catalog rebuild: %v", err)
+			} else if n > 0 {
+				logf("catalog rebuilt: %d records recovered from the pack store", n)
+			}
+		}
+		cache.SetIngest(func(key string, res *sim.Result) {
+			catalog.Ingest(runindex.FromResult(key, res))
+		})
+		s.catalog = catalog
 	}
 
 	mux := http.NewServeMux()
@@ -146,6 +172,7 @@ func newServer(parent context.Context, cfg serverConfig, logf func(format string
 	mux.HandleFunc("/run", serving.Instrument(s.sm, s.handleRun))
 	mux.HandleFunc("/batch", serving.Instrument(s.sm, s.handleBatch))
 	mux.HandleFunc("/batches", s.handleBatches)
+	mux.HandleFunc("/query", serving.Instrument(s.sm, s.handleQuery))
 	// expvar and pprof register themselves on the default mux; forward the
 	// whole /debug/ subtree there.
 	mux.Handle("/debug/", http.DefaultServeMux)
@@ -256,6 +283,9 @@ func main() {
 		if s.drain.Shutdown(*drainTimeout) {
 			if err := s.cache.Close(); err != nil {
 				s.logf("cache close: %v", err)
+			}
+			if err := s.catalog.Close(); err != nil {
+				s.logf("catalog close: %v", err)
 			}
 			s.logf("drained, shut down")
 		} else {
@@ -453,6 +483,29 @@ func runSummary(res *sim.Result, reqID string, cached bool) map[string]any {
 		"avg_duty":   res.AvgDuty,
 		"emerg_frac": res.EmergencyFrac(),
 	}
+}
+
+// handleQuery answers run-catalog questions: point lookups, dimension
+// range scans and composite grid queries over every result this worker
+// has ever cached. 404 when the server runs without a cache dir (no
+// catalog exists), 400 on malformed filters.
+//
+//	curl 'localhost:8721/query?trigger=110:111&policy=PI'
+//	curl 'localhost:8721/query?bench=gcc&limit=50'
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+	if s.catalog == nil {
+		serving.WriteError(w, nil, reqID, http.StatusNotFound,
+			errors.New("no run catalog: server started without -cache-dir"))
+		return
+	}
+	q, err := runindex.ParseQuery(r.URL.Query())
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, reqID, http.StatusOK, s.catalog.Run(&q))
 }
 
 // handleBatch starts an asynchronous experiment batch on a drain-tracked

@@ -11,6 +11,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -378,5 +380,86 @@ func TestChaosDiskFaultsStayGraceful(t *testing.T) {
 	}
 	if s.sm.ResponsesServerError.Value() != 0 {
 		t.Errorf("disk chaos surfaced %d server errors", s.sm.ResponsesServerError.Value())
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, serverConfig{cacheDir: dir, cachePack: true, runTimeout: 30 * time.Second})
+	// Three runs with distinct triggers (policy PI sets a setpoint, toggle1
+	// a trigger temperature); each Put flows into the catalog.
+	for _, p := range []string{"PI", "PID", "toggle1"} {
+		if r := getJSON(t, ts.URL+"/run?insts=20000&policy="+p, nil); r.StatusCode != 200 {
+			t.Fatalf("run %s: %d", p, r.StatusCode)
+		}
+	}
+	var resp struct {
+		Count   int `json:"count"`
+		Records int `json:"records"`
+		Rows    []struct {
+			Key     string  `json:"key"`
+			Bench   string  `json:"bench"`
+			Policy  string  `json:"policy"`
+			Trigger float64 `json:"trigger"`
+			IPC     float64 `json:"ipc"`
+		} `json:"rows"`
+	}
+	if r := getJSON(t, ts.URL+"/query", &resp); r.StatusCode != 200 {
+		t.Fatalf("query: %d", r.StatusCode)
+	}
+	if resp.Records != 3 || resp.Count != 3 {
+		t.Fatalf("unfiltered query: count=%d records=%d, want 3/3", resp.Count, resp.Records)
+	}
+	if r := getJSON(t, ts.URL+"/query?policy=PI", &resp); r.StatusCode != 200 || resp.Count != 1 {
+		t.Fatalf("policy filter: status=%d count=%d", r.StatusCode, resp.Count)
+	}
+	if resp.Rows[0].Policy != "PI" || resp.Rows[0].Bench != "gcc" || resp.Rows[0].Key == "" {
+		t.Fatalf("row = %+v", resp.Rows[0])
+	}
+	// Range scan over the trigger dimension finds the controlled runs.
+	if r := getJSON(t, ts.URL+"/query?trigger=100:120", &resp); r.StatusCode != 200 || resp.Count == 0 {
+		t.Fatalf("trigger range: status=%d count=%d", r.StatusCode, resp.Count)
+	}
+	for _, row := range resp.Rows {
+		if row.Trigger < 100 || row.Trigger >= 120 {
+			t.Fatalf("trigger %g outside [100,120)", row.Trigger)
+		}
+	}
+	// Malformed filters are 400s.
+	if r := getJSON(t, ts.URL+"/query?trigger=5:1", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range: %d, want 400", r.StatusCode)
+	}
+}
+
+func TestQueryWithoutCacheIs404(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	if r := getJSON(t, ts.URL+"/query", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("query without catalog: %d, want 404", r.StatusCode)
+	}
+}
+
+func TestCatalogRebuildOnColdStart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := testServer(t, serverConfig{cacheDir: dir, cachePack: true, runTimeout: 30 * time.Second})
+	if r := getJSON(t, ts1.URL+"/run?insts=20000&policy=PI", nil); r.StatusCode != 200 {
+		t.Fatalf("seed run: %d", r.StatusCode)
+	}
+	ts1.Close()
+	s1.cache.Close()
+	s1.catalog.Close()
+	// Lose the catalog but keep the pack store: a new server rebuilds the
+	// index from the store scan.
+	if err := os.RemoveAll(filepath.Join(dir, "catalog")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := testServer(t, serverConfig{cacheDir: dir, cachePack: true, runTimeout: 30 * time.Second})
+	var resp struct {
+		Records int `json:"records"`
+	}
+	if r := getJSON(t, ts2.URL+"/query", &resp); r.StatusCode != 200 {
+		t.Fatalf("query after rebuild: %d", r.StatusCode)
+	}
+	if resp.Records != 1 {
+		t.Fatalf("rebuilt catalog holds %d records, want 1", resp.Records)
 	}
 }

@@ -16,15 +16,20 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dtm"
 	"repro/internal/floorplan"
+	"repro/internal/packstore"
+	"repro/internal/runindex"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -43,6 +48,7 @@ func main() {
 		cachePack = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
 		cacheMem  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
 		gangSize  = flag.Int("gang-size", 16, "max members per lock-step gang; <= 1 runs every point solo (gangs are disabled while -trace/-metrics sinks are attached)")
+		fill      = flag.Bool("fill", false, "grid-fill: consult the run catalog under <cache-dir>/catalog and dispatch only cells it is missing (requires -cache-dir)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,26 @@ func main() {
 	sinks, err := telemetry.OpenSinks(*trace, *metrics, len(floorplan.Blocks()))
 	if err != nil {
 		fatal(err)
+	}
+
+	// Grid-fill mode: the catalog rides next to the result cache and
+	// remembers every completed cell across sweep invocations, so a
+	// re-run (or a widened grid) dispatches only the cells it is missing
+	// and renders the rest from cataloged rows.
+	var catalog *runindex.Catalog
+	if *fill {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("sweep: -fill requires -cache-dir"))
+		}
+		var im *telemetry.IndexMetrics
+		if sinks.Registry != nil {
+			im = telemetry.NewIndexMetrics(sinks.Registry)
+		}
+		catalog, err = runindex.Open(filepath.Join(*cacheDir, "catalog"), runindex.Options{Metrics: im})
+		if err != nil {
+			fatal(err)
+		}
+		defer catalog.Close()
 	}
 
 	// The cores sweep runs the multicore engine (its own config and result
@@ -77,38 +103,61 @@ func main() {
 		for _, nc := range counts {
 			cells = append(cells, cell{nc, "none"}, cell{nc, pol})
 		}
-		start := time.Now()
-		outs, err := runner.Map(ctx, runner.Options{Workers: *workers}, cells,
-			func(ctx context.Context, c cell) (*sim.MulticoreResult, error) {
-				cfg, err := bench.NewMulticoreRun(scenario, c.policy, c.cores, *insts)
-				if err != nil {
-					return nil, err
+		// Multicore runs have no solo cache entry, so grid-fill keys them
+		// synthetically off the full cell coordinates.
+		keyOf := func(c cell) string {
+			sum := sha256.Sum256(fmt.Appendf(nil, "multicore|%s|%s|%d|%d", scenario, c.policy, c.cores, *insts))
+			return hex.EncodeToString(sum[:])
+		}
+		recs := make([]runindex.Record, len(cells))
+		var cold []int
+		for i, c := range cells {
+			if catalog != nil {
+				if rec, ok := catalog.Get(keyOf(c)); ok {
+					recs[i] = rec
+					continue
 				}
-				return sim.RunMulticore(ctx, cfg)
-			})
-		if err != nil {
-			sinks.Close()
-			fatal(err)
+			}
+			cold = append(cold, i)
+		}
+		if catalog != nil {
+			fmt.Fprintf(os.Stderr, "fill: %d/%d cells warm in catalog, dispatching %d cold cells\n",
+				len(cells)-len(cold), len(cells), len(cold))
+		}
+		start := time.Now()
+		var cycles uint64
+		if len(cold) > 0 {
+			outs, err := runner.Map(ctx, runner.Options{Workers: *workers}, cold,
+				func(ctx context.Context, i int) (*sim.MulticoreResult, error) {
+					cfg, err := bench.NewMulticoreRun(scenario, cells[i].policy, cells[i].cores, *insts)
+					if err != nil {
+						return nil, err
+					}
+					return sim.RunMulticore(ctx, cfg)
+				})
+			if err != nil {
+				sinks.Close()
+				fatal(err)
+			}
+			for j, i := range cold {
+				cycles += outs[j].Cycles
+				recs[i] = runindex.FromMulticore(keyOf(cells[i]), *insts, outs[j])
+				if catalog != nil {
+					catalog.Ingest(recs[i])
+				}
+			}
 		}
 		fmt.Printf("cores,ipc,pct_of_none,emerg_pct,stress_pct,avg_duty,avg_freq\n")
-		var cycles uint64
 		for i := 0; i < len(cells); i += 2 {
-			none, res := outs[i], outs[i+1]
-			cycles += none.Cycles + res.Cycles
-			var dutySum, freqSum float64
-			for c := range res.PerCore {
-				dutySum += res.PerCore[c].AvgDuty
-				freqSum += res.PerCore[c].AvgFreq
-			}
-			nc := float64(len(res.PerCore))
+			none, res := &recs[i], &recs[i+1]
 			fmt.Printf("%d,%.4f,%.2f,%.3f,%.3f,%.3f,%.3f\n",
 				cells[i].cores, res.IPC, 100*res.IPC/none.IPC,
-				100*res.EmergencyFrac(), 100*res.StressFrac(),
-				dutySum/nc, freqSum/nc)
+				100*res.EmergFrac, 100*res.StressFrac,
+				res.AvgDuty, res.AvgFreq)
 		}
-		if wall := time.Since(start).Seconds(); wall > 0 {
+		if wall := time.Since(start).Seconds(); len(cold) > 0 && wall > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d cycles, %.0f cycles/s\n",
-				len(cells), cycles, float64(cycles)/wall)
+				len(cold), cycles, float64(cycles)/wall)
 		}
 		if err := sinks.Close(); err != nil {
 			fatal(err)
@@ -203,6 +252,18 @@ func main() {
 			fatal(err)
 		}
 		defer cache.Close()
+		if catalog != nil {
+			// A cache populated before -fill existed has results the catalog
+			// never saw; a pack-backed store can replay them wholesale.
+			if ps, ok := cache.Store().(*packstore.Store); ok && catalog.Len() == 0 && ps.Len() > 0 {
+				if n, err := catalog.RebuildFromStore(ps); err == nil && n > 0 {
+					fmt.Fprintf(os.Stderr, "fill: rebuilt catalog from pack store (%d records)\n", n)
+				}
+			}
+			cache.SetIngest(func(key string, res *sim.Result) {
+				catalog.Ingest(runindex.FromResult(key, res))
+			})
+		}
 	}
 	// Baseline rides along as cell 0 so the whole sweep is one batch.
 	cfgs := make([]sim.Config, 0, len(points)+1)
@@ -215,26 +276,42 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 
-	// Pre-flight cache probe: serve warm cells before anything is
-	// scheduled, so only the cold remainder competes for workers (and can
-	// be gang-grouped). Instrumented runs are rejected by sim.CacheKey and
-	// always execute.
+	// Pre-flight probe: serve warm cells before anything is scheduled, so
+	// only the cold remainder competes for workers (and can be
+	// gang-grouped). With -fill the catalog answers first — its row is
+	// enough to render the CSV without touching the result cache — then
+	// the cache, whose hits are ingested so the catalog catches up on
+	// results that predate it. Instrumented runs are rejected by
+	// sim.CacheKey and always execute.
 	results := make([]*sim.Result, len(cfgs))
+	recs := make([]runindex.Record, len(cfgs))
 	keys := make([]string, len(cfgs))
 	var cold []int
 	for i, cfg := range cfgs {
 		if cache != nil {
 			if key, ok := sim.CacheKey(cfg); ok {
 				keys[i] = key
+				if catalog != nil {
+					if rec, hit := catalog.Get(key); hit {
+						recs[i] = rec
+						continue
+					}
+				}
 				if res, hit := cache.Get(key); hit {
 					results[i] = res
+					if catalog != nil {
+						catalog.Ingest(runindex.FromResult(key, res))
+					}
 					continue
 				}
 			}
 		}
 		cold = append(cold, i)
 	}
-	if cache != nil {
+	if catalog != nil {
+		fmt.Fprintf(os.Stderr, "fill: %d/%d cells warm in catalog, dispatching %d cold cells\n",
+			len(cfgs)-len(cold), len(cfgs), len(cold))
+	} else if cache != nil {
 		fmt.Fprintf(os.Stderr, "cache pre-flight: %d/%d cells warm, %d cold\n",
 			len(cfgs)-len(cold), len(cfgs), len(cold))
 	}
@@ -310,17 +387,24 @@ func main() {
 			cache.Put(keys[i], results[i])
 		}
 	}
-	base := results[0]
+	// Catalog-warm cells already hold their row; everything else renders
+	// from the live result.
+	for i := range cfgs {
+		if results[i] != nil {
+			recs[i] = runindex.FromResult(keys[i], results[i])
+		}
+	}
+	base := &recs[0]
 
 	fmt.Printf("%s,ipc,pct_of_base,emerg_pct,stress_pct,avg_duty,engagements\n", *param)
 	for i, pt := range points {
-		res := results[i+1]
+		res := &recs[i+1]
 		fmt.Printf("%s,%.4f,%.2f,%.3f,%.3f,%.3f,%d\n",
 			pt.label, res.IPC, 100*res.IPC/base.IPC,
-			100*res.EmergencyFrac(), 100*res.StressFrac(),
+			100*res.EmergFrac, 100*res.StressFrac,
 			res.AvgDuty, res.Engagements)
 	}
-	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergencyFrac())
+	fmt.Fprintf(os.Stderr, "baseline: IPC %.4f emerg %.2f%%\n", base.IPC, 100*base.EmergFrac)
 	if wall := time.Since(start).Seconds(); cells > 0 && wall > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d cells simulated, %d cycles, %.0f cycles/s\n",
 			cells, cycles, float64(cycles)/wall)

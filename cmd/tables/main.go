@@ -10,6 +10,13 @@
 //	tables -metrics m.prom # dump final Prometheus-text metrics
 //	tables -trace t.jsonl  # stream per-run telemetry samples
 //	tables -cache-dir .rc  # reuse identical runs across invocations
+//
+// Catalog mode renders reports from run history (the dimension-indexed
+// catalog maintained by sweep -fill and cmd/serve) without simulating:
+//
+//	tables -catalog .rc/catalog                    # per bench/policy rollup
+//	tables -catalog .rc/catalog -pareto            # IPC/emergency frontier
+//	tables -catalog .rc/catalog -sensitivity kp    # mean metrics per kp value
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/runindex"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -39,8 +47,46 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persist run results under this directory and reuse them (disabled with -trace/-metrics)")
 		cachePack = flag.Bool("cache-pack", false, "use the pack-volume result store (append-only needle files) instead of one JSON file per entry")
 		cacheMem  = flag.Int64("cache-mem", 0, "in-memory cache layer cap in MiB (0 = default 256, negative = unlimited)")
+		catDir    = flag.String("catalog", "", "render reports from the run catalog at this directory instead of simulating")
+		pareto    = flag.Bool("pareto", false, "with -catalog: print the per-benchmark IPC/emergency pareto frontier")
+		sensDim   = flag.String("sensitivity", "", "with -catalog: print mean metrics bucketed by this dimension (trigger|kp|ki|interval|stride|cores|insts)")
 	)
 	flag.Parse()
+
+	// Catalog mode never simulates: open the history, print the requested
+	// reports (the rollup when neither -pareto nor -sensitivity asks for
+	// something sharper), and exit.
+	if *catDir != "" {
+		cat, err := runindex.Open(*catDir, runindex.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cat.Close()
+		fmt.Fprintf(os.Stderr, "run catalog: %d records\n", cat.Len())
+		if !*pareto && *sensDim == "" {
+			fmt.Printf("\n=== Run catalog: per benchmark/policy rollup ===\n")
+			fmt.Print(experiments.CatalogSummary(cat))
+		}
+		if *pareto {
+			fmt.Printf("\n=== Run catalog: IPC / emergency-residency pareto frontier ===\n")
+			fmt.Print(experiments.CatalogPareto(cat))
+		}
+		if *sensDim != "" {
+			dim, err := runindex.ParseDim(*sensDim)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n=== Run catalog: sensitivity along %s ===\n", dim)
+			fmt.Print(experiments.CatalogSensitivity(cat, dim))
+		}
+		return
+	}
+	if *pareto || *sensDim != "" {
+		fmt.Fprintln(os.Stderr, "tables: -pareto/-sensitivity require -catalog")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/runindex"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -31,8 +32,9 @@ import (
 // including the volatile request_id/cached fields the coordinator must
 // strip), optionally backed by the same content-addressed run cache.
 type fleetWorker struct {
-	srv   *httptest.Server
-	cache *runner.Cache[*sim.Result]
+	srv     *httptest.Server
+	cache   *runner.Cache[*sim.Result]
+	catalog *runindex.Catalog // non-nil when the worker has a cache
 
 	dead      atomic.Bool  // drop every connection (SIGKILL emulation)
 	killAfter atomic.Int64 // > 0: die permanently after serving this many runs
@@ -49,6 +51,14 @@ func newFleetWorker(t *testing.T, withCache bool) *fleetWorker {
 			t.Fatalf("worker cache: %v", err)
 		}
 		fw.cache = c
+		cat, err := runindex.Open("", runindex.Options{})
+		if err != nil {
+			t.Fatalf("worker catalog: %v", err)
+		}
+		fw.catalog = cat
+		c.SetIngest(func(key string, res *sim.Result) {
+			cat.Ingest(runindex.FromResult(key, res))
+		})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -59,6 +69,7 @@ func newFleetWorker(t *testing.T, withCache bool) *fleetWorker {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/run", fw.handleRun)
+	mux.HandleFunc("/query", fw.handleQuery)
 	fw.srv = httptest.NewServer(mux)
 	t.Cleanup(fw.srv.Close)
 	return fw
@@ -129,6 +140,25 @@ func (fw *fleetWorker) handleRun(w http.ResponseWriter, r *http.Request) {
 		"avg_duty":   res.AvgDuty,
 		"emerg_frac": res.EmergencyFrac(),
 	})
+}
+
+// handleQuery mirrors cmd/serve's /query: 404 without a catalog, 400 on
+// malformed filters, else the worker-local catalog answer.
+func (fw *fleetWorker) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if fw.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if fw.catalog == nil {
+		http.Error(w, "no catalog", http.StatusNotFound)
+		return
+	}
+	q, err := runindex.ParseQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fw.catalog.Run(&q))
 }
 
 func newFleet(t *testing.T, n int, withCache bool) ([]*fleetWorker, []string) {
@@ -526,5 +556,83 @@ func TestClusterHedgeInflightBalanced(t *testing.T) {
 	}
 	if s.Metrics().Hedges.Value() == 0 {
 		t.Error("no hedges fired: the test did not exercise the hedge path")
+	}
+}
+
+// TestClusterQueryMergesAcrossWorkers spreads runs over two workers'
+// caches (affinity routing splits the keys), then checks the
+// coordinator's /query merges both catalogs: a range query spanning both
+// workers' entries answers with every run, deduplicated and
+// deterministically ordered, while each individual worker holds only a
+// subset.
+func TestClusterQueryMergesAcrossWorkers(t *testing.T) {
+	workers, urls := newFleet(t, 2, true)
+	_, hs := newCoordinator(t, urls, nil)
+
+	benches := []string{"gcc", "art", "mesa"}
+	policies := []string{"PI", "PID", "toggle1", "M"}
+	total := len(benches) * len(policies)
+	for _, b := range benches {
+		for _, p := range policies {
+			if code, _, body := get(t, hs.URL+"/run?bench="+b+"&policy="+p+"&insts=20000"); code != 200 {
+				t.Fatalf("run %s/%s: %d %s", b, p, code, body)
+			}
+		}
+	}
+	perWorker := []int{workers[0].catalog.Len(), workers[1].catalog.Len()}
+	if perWorker[0]+perWorker[1] != total {
+		t.Fatalf("worker catalogs hold %v runs, want %d total", perWorker, total)
+	}
+	if perWorker[0] == 0 || perWorker[1] == 0 {
+		t.Skipf("affinity routed every run to one worker (%v); merge not exercised", perWorker)
+	}
+
+	code, _, body := get(t, hs.URL+"/query?insts=20000")
+	if code != 200 {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var resp runindex.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("query body: %v", err)
+	}
+	if resp.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", resp.Workers)
+	}
+	if resp.Count != total {
+		t.Fatalf("merged count = %d, want %d (per-worker %v)", resp.Count, total, perWorker)
+	}
+	for i := 1; i < len(resp.Rows); i++ {
+		a, b := resp.Rows[i-1], resp.Rows[i]
+		if a.Bench > b.Bench || (a.Bench == b.Bench && a.Policy > b.Policy) {
+			t.Fatalf("rows not sorted: %s/%s before %s/%s", a.Bench, a.Policy, b.Bench, b.Policy)
+		}
+	}
+
+	// The same query again returns the identical document (determinism),
+	// and a narrower range filter subsets it.
+	_, _, body2 := get(t, hs.URL+"/query?insts=20000")
+	if !bytes.Equal(body, body2) {
+		t.Fatal("repeated merged query differs")
+	}
+	code, _, body = get(t, hs.URL+"/query?trigger=110:112&bench=gcc")
+	if code != 200 {
+		t.Fatalf("range query: %d %s", code, body)
+	}
+	var ranged runindex.QueryResponse
+	if err := json.Unmarshal(body, &ranged); err != nil {
+		t.Fatal(err)
+	}
+	if ranged.Count == 0 || ranged.Count > resp.Count {
+		t.Fatalf("range query count %d out of bounds (full %d)", ranged.Count, resp.Count)
+	}
+	for _, row := range ranged.Rows {
+		if row.Trigger < 110 || row.Trigger >= 112 {
+			t.Fatalf("row trigger %g outside [110,112)", row.Trigger)
+		}
+	}
+
+	// Malformed filters fail fast at the coordinator.
+	if code, _, _ := get(t, hs.URL+"/query?trigger=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad filter: %d, want 400", code)
 	}
 }

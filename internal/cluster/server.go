@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/runindex"
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -93,6 +96,7 @@ func NewServer(ctx context.Context, cfg Config, logf func(format string, args ..
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/run", serving.Instrument(s.sm, s.handleRun))
 	mux.HandleFunc("/batch", serving.Instrument(s.sm, s.handleBatch))
+	mux.HandleFunc("/query", serving.Instrument(s.sm, s.handleQuery))
 	return s, mux, nil
 }
 
@@ -252,6 +256,122 @@ func statusForDispatchError(err error) int {
 	default:
 		return http.StatusBadGateway
 	}
+}
+
+// handleQuery answers a run-catalog question across the whole fleet:
+// the raw query string is forwarded verbatim to every healthy worker's
+// /query (each worker indexes its own cache), and the per-worker answers
+// are merged — deduplicated by cache key (affinity routing means a run
+// usually lives on one worker, but requeues and hedges copy entries) and
+// sorted deterministically — so the caller sees one catalog regardless
+// of how results are spread over the fleet. The filters are validated
+// here first so a malformed query is a 400, not a fleet of them.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqID := s.ids.Next()
+	w.Header().Set("X-Request-Id", reqID)
+
+	q, err := runindex.ParseQuery(r.URL.Query())
+	if err != nil {
+		serving.WriteError(w, s.logf, reqID, http.StatusBadRequest, err)
+		return
+	}
+	workers := s.pool.Workers()
+	bodies := make([][]byte, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, wk := range workers {
+		if !wk.Up() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, wk *Worker) {
+			defer wg.Done()
+			bodies[i], errs[i] = s.queryWorker(r.Context(), wk, r.URL.RawQuery)
+		}(i, wk)
+	}
+	wg.Wait()
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = runindex.DefaultLimit
+	}
+	merged := runindex.QueryResponse{Rows: []runindex.Record{}}
+	seen := map[string]bool{}
+	for i := range workers {
+		if bodies[i] == nil {
+			if errs[i] != nil {
+				s.logf("req %s: query on %s: %v", reqID, workers[i].URL, errs[i])
+			}
+			continue
+		}
+		var part runindex.QueryResponse
+		if err := json.Unmarshal(bodies[i], &part); err != nil {
+			s.logf("req %s: bad query body from %s: %v", reqID, workers[i].URL, err)
+			continue
+		}
+		merged.Workers++
+		merged.Records += part.Records
+		for _, row := range part.Rows {
+			if !seen[row.Key] {
+				seen[row.Key] = true
+				merged.Rows = append(merged.Rows, row)
+			}
+		}
+	}
+	if merged.Workers == 0 {
+		serving.WriteError(w, s.logf, reqID, http.StatusServiceUnavailable,
+			errors.New("no worker answered the catalog query"))
+		return
+	}
+	sort.Slice(merged.Rows, func(i, j int) bool {
+		a, b := &merged.Rows[i], &merged.Rows[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Key < b.Key
+	})
+	if len(merged.Rows) > limit {
+		merged.Rows = merged.Rows[:limit]
+	}
+	merged.Count = len(merged.Rows)
+	if err := serving.WriteJSON(w, http.StatusOK, merged); err != nil {
+		s.logf("req %s: writing query response: %v", reqID, err)
+	}
+}
+
+// queryWorker fetches one worker's catalog answer. A worker without a
+// catalog (no cache dir) answers 404; that is an empty contribution, not
+// an error.
+func (s *Server) queryWorker(ctx context.Context, wk *Worker, rawQuery string) ([]byte, error) {
+	url := wk.URL + "/query"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.disp.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// The worker runs without a catalog (no cache dir): it answered,
+		// with nothing to contribute.
+		return []byte(`{"count":0,"records":0,"rows":[]}`), nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker status %d", resp.StatusCode)
+	}
+	return body, nil
 }
 
 // RunResult is one merged batch row: exactly the fields determined by the

@@ -1,0 +1,136 @@
+package experiments
+
+// Catalog-backed report tables. These render from run history (the
+// dimension-indexed catalog that sweep -fill and cmd/serve maintain)
+// instead of fresh simulation, so they are instant and cover every
+// operating point ever executed against the cache — the raw material for
+// the paper's pareto and sensitivity discussions without re-running the
+// grids.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/runindex"
+	"repro/internal/stats"
+)
+
+// catalogRows snapshots every cataloged run.
+func catalogRows(cat *runindex.Catalog) []runindex.Record {
+	q := runindex.Query{Limit: cat.Len()}
+	return cat.Run(&q).Rows
+}
+
+func policyName(p string) string {
+	if p == "" {
+		return "none"
+	}
+	return p
+}
+
+// CatalogSummary rolls the catalog up per benchmark x policy: run count
+// and mean headline metrics.
+func CatalogSummary(cat *runindex.Catalog) *stats.Table {
+	type agg struct {
+		n                 int
+		ipc, power, emerg float64
+	}
+	groups := map[string]*agg{}
+	for _, r := range catalogRows(cat) {
+		k := r.Bench + "/" + policyName(r.Policy)
+		g := groups[k]
+		if g == nil {
+			g = &agg{}
+			groups[k] = g
+		}
+		g.n++
+		g.ipc += r.IPC
+		g.power += r.AvgPower
+		g.emerg += r.EmergFrac
+	}
+	t := &stats.Table{Header: []string{"benchmark/policy", "runs", "mean IPC", "mean power (W)", "mean emerg"}}
+	for _, k := range stats.SortedKeys(groups) {
+		g := groups[k]
+		n := float64(g.n)
+		t.AddRow(k, fmt.Sprintf("%d", g.n),
+			fmt.Sprintf("%.4f", g.ipc/n),
+			fmt.Sprintf("%.2f", g.power/n),
+			stats.Percent(g.emerg/n))
+	}
+	return t
+}
+
+// CatalogPareto returns, per benchmark, the cataloged runs on the
+// IPC / emergency-residency pareto frontier: no other run of the same
+// benchmark has both higher IPC and lower emergency residency.
+func CatalogPareto(cat *runindex.Catalog) *stats.Table {
+	byBench := map[string][]runindex.Record{}
+	for _, r := range catalogRows(cat) {
+		byBench[r.Bench] = append(byBench[r.Bench], r)
+	}
+	t := &stats.Table{Header: []string{"benchmark", "policy", "trigger", "interval", "IPC", "emerg", "power (W)"}}
+	for _, b := range stats.SortedKeys(byBench) {
+		rows := byBench[b]
+		// Walk in order of rising emergency residency; a run joins the
+		// frontier only by beating every safer run's IPC.
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].EmergFrac != rows[j].EmergFrac {
+				return rows[i].EmergFrac < rows[j].EmergFrac
+			}
+			return rows[i].IPC > rows[j].IPC
+		})
+		best := -1.0
+		for i := range rows {
+			r := &rows[i]
+			if r.IPC <= best {
+				continue
+			}
+			best = r.IPC
+			t.AddRow(b, policyName(r.Policy),
+				fmt.Sprintf("%.1f", r.Trigger),
+				fmt.Sprintf("%.0f", r.Interval),
+				fmt.Sprintf("%.4f", r.IPC),
+				stats.Percent(r.EmergFrac),
+				fmt.Sprintf("%.2f", r.AvgPower))
+		}
+	}
+	return t
+}
+
+// CatalogSensitivity buckets cataloged runs by their exact value along
+// one indexed dimension and reports mean headline metrics per value —
+// the sweep CSVs reconstructed from history.
+func CatalogSensitivity(cat *runindex.Catalog, dim runindex.Dim) *stats.Table {
+	type agg struct {
+		n                int
+		ipc, emerg, duty float64
+	}
+	groups := map[float64]*agg{}
+	for _, r := range catalogRows(cat) {
+		v := r.DimValue(dim)
+		g := groups[v]
+		if g == nil {
+			g = &agg{}
+			groups[v] = g
+		}
+		g.n++
+		g.ipc += r.IPC
+		g.emerg += r.EmergFrac
+		g.duty += r.AvgDuty
+	}
+	vals := make([]float64, 0, len(groups))
+	for v := range groups {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	t := &stats.Table{Header: []string{dim.String(), "runs", "mean IPC", "mean emerg", "mean duty"}}
+	for _, v := range vals {
+		g := groups[v]
+		n := float64(g.n)
+		t.AddRow(fmt.Sprintf("%g", v), fmt.Sprintf("%d", g.n),
+			fmt.Sprintf("%.4f", g.ipc/n),
+			stats.Percent(g.emerg/n),
+			fmt.Sprintf("%.3f", g.duty/n))
+	}
+	return t
+}

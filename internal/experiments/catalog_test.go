@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runindex"
+)
+
+func testCatalog(t *testing.T) *runindex.Catalog {
+	t.Helper()
+	cat, err := runindex.Open("", runindex.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	// Two benchmarks; gcc has a dominated point (PID: lower IPC AND more
+	// emergency than PI) that must stay off the pareto frontier.
+	recs := []runindex.Record{
+		{Key: "k1", Bench: "gcc", Policy: "", IPC: 1.00, EmergFrac: 0.10, AvgPower: 40},
+		{Key: "k2", Bench: "gcc", Policy: "PI", Trigger: 111.2, Interval: 1000, IPC: 0.90, EmergFrac: 0.01, AvgPower: 35},
+		{Key: "k3", Bench: "gcc", Policy: "PID", Trigger: 111.2, Interval: 1000, IPC: 0.85, EmergFrac: 0.02, AvgPower: 34},
+		{Key: "k4", Bench: "gcc", Policy: "toggle1", Trigger: 110.3, Interval: 1000, IPC: 0.70, EmergFrac: 0.00, AvgPower: 30},
+		{Key: "k5", Bench: "art", Policy: "PI", Trigger: 111.2, Interval: 2000, IPC: 0.60, EmergFrac: 0.00, AvgPower: 20},
+		{Key: "k6", Bench: "gcc", Policy: "PI", Trigger: 111.0, Interval: 2000, IPC: 0.88, EmergFrac: 0.01, AvgPower: 34},
+	}
+	for _, r := range recs {
+		if !cat.Ingest(r) {
+			t.Fatalf("ingest %s: duplicate", r.Key)
+		}
+	}
+	return cat
+}
+
+func TestCatalogSummary(t *testing.T) {
+	out := CatalogSummary(testCatalog(t)).String()
+	for _, want := range []string{"art/PI", "gcc/none", "gcc/PI", "gcc/PID", "gcc/toggle1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing group %q:\n%s", want, out)
+		}
+	}
+	// gcc/PI groups two runs with mean IPC (0.90+0.88)/2.
+	if !strings.Contains(out, "0.8900") {
+		t.Errorf("summary missing gcc/PI mean IPC 0.8900:\n%s", out)
+	}
+}
+
+func TestCatalogPareto(t *testing.T) {
+	out := CatalogPareto(testCatalog(t)).String()
+	if strings.Contains(out, "PID") {
+		t.Errorf("dominated PID point on frontier:\n%s", out)
+	}
+	// The safest (toggle1), the knee (PI @ 0.90) and the fastest
+	// (uncontrolled) gcc points all belong; k6 (0.88 IPC at the same
+	// residency as k2's 0.90) does not.
+	for _, want := range []string{"toggle1", "none", "art"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frontier missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0.8800") {
+		t.Errorf("dominated gcc/PI (IPC 0.88) on frontier:\n%s", out)
+	}
+}
+
+func TestCatalogSensitivity(t *testing.T) {
+	out := CatalogSensitivity(testCatalog(t), runindex.DimInterval).String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + rule + three interval values (0, 1000, 2000), ascending.
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "0 ") || !strings.HasPrefix(lines[3], "1000") || !strings.HasPrefix(lines[4], "2000") {
+		t.Errorf("interval buckets not ascending:\n%s", out)
+	}
+	if _, err := runindex.ParseDim("interval"); err != nil {
+		t.Fatalf("ParseDim: %v", err)
+	}
+}

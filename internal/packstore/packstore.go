@@ -499,6 +499,34 @@ func encodeNeedle(flags byte, key string, data []byte) []byte {
 	return buf
 }
 
+// Range calls fn for every live entry, verifying each needle as it is
+// read; fn returning false stops the iteration. A needle whose CRC no
+// longer matches is quarantined and skipped, exactly like a Get miss, so
+// derived-state rebuilds (the run catalog) never see corrupt payloads.
+// Keys are snapshotted up front: fn may call back into the store.
+func (s *Store) Range(fn func(key string, data []byte) bool) error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.index))
+	for key := range s.index {
+		keys = append(keys, key)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		data, err := s.Get(key)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // deleted or quarantined since the snapshot
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(key, data) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Len returns the number of live entries.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -78,6 +78,7 @@ type Cache[R any] struct {
 	mem     *lruCache
 	store   BlobStore // nil = memory-only
 	metrics *telemetry.CacheMetrics
+	ingest  func(key string, v R) // optional Put observer (run catalog)
 }
 
 // NewCache returns a run cache over the flat-file store. dir, when
@@ -124,6 +125,24 @@ func (c *Cache[R]) SetFaultHook(f func(op string) error) {
 	if c != nil && c.store != nil {
 		c.store.SetFaultHook(f)
 	}
+}
+
+// SetIngest installs an observer called after every successful Put —
+// the hook the run catalog uses to index completed results as they are
+// stored. Not safe to call concurrently with cache use; nil disables.
+func (c *Cache[R]) SetIngest(f func(key string, v R)) {
+	if c != nil {
+		c.ingest = f
+	}
+}
+
+// Store exposes the persistent layer (nil when memory-only) so derived
+// state — the run catalog — can rebuild itself from a store scan.
+func (c *Cache[R]) Store() BlobStore {
+	if c == nil {
+		return nil
+	}
+	return c.store
 }
 
 // Close releases the persistent layer (waits for pack compaction to
@@ -216,6 +235,9 @@ func (c *Cache[R]) Put(key string, v R) {
 		m.Stores.Inc()
 		m.Bytes.Add(int64(len(data)))
 	})
+	if c.ingest != nil {
+		c.ingest(key, v)
+	}
 	if c.store == nil {
 		return
 	}

@@ -283,3 +283,36 @@ func TestCachedJob(t *testing.T) {
 		t.Errorf("passthrough wrappers executed %d times, want 2", runs)
 	}
 }
+
+func TestCacheIngestHook(t *testing.T) {
+	c, err := NewCacheWith[payload](CacheConfig{Dir: t.TempDir(), Pack: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Store() == nil {
+		t.Fatal("pack-backed cache reports a nil store")
+	}
+	var gotKey string
+	var gotVal payload
+	calls := 0
+	c.SetIngest(func(key string, v payload) {
+		gotKey, gotVal, calls = key, v, calls+1
+	})
+	want := samplePayload()
+	c.Put("k-ingest", want)
+	if calls != 1 || gotKey != "k-ingest" || gotVal.Name != want.Name {
+		t.Fatalf("ingest hook: calls=%d key=%q val=%+v", calls, gotKey, gotVal)
+	}
+	// The hook observes every Put, including overwrites.
+	c.Put("k-ingest", want)
+	if calls != 2 {
+		t.Fatalf("ingest hook after overwrite: calls=%d, want 2", calls)
+	}
+	// Nil-safety: a nil cache accepts both without dereferencing.
+	var nilCache *Cache[payload]
+	nilCache.SetIngest(func(string, payload) {})
+	if nilCache.Store() != nil {
+		t.Fatal("nil cache returned a store")
+	}
+}

@@ -167,10 +167,38 @@ type ProxyResult struct {
 	ChipWide  sensor.Comparison
 }
 
+// RunDims is the run's coordinates in sweep space: the config dimensions
+// experiments vary (trigger temperature, controller gains, sampling
+// interval, thermal stride, instruction budget, core count), flattened
+// out of the policy objects so the run catalog can index completed
+// results without re-deriving policy internals. Zero means "not
+// applicable to this policy" (an uncontrolled run has no trigger).
+type RunDims struct {
+	// Trigger is the engagement threshold or controller setpoint in
+	// Celsius (Manual reports its upper band edge).
+	Trigger float64 `json:"trigger,omitempty"`
+	// Kp, Ki are the CT controller gains (0 for non-CT policies;
+	// AdaptiveGain reports its fine-regulation KiLow).
+	Kp float64 `json:"kp,omitempty"`
+	Ki float64 `json:"ki,omitempty"`
+	// Interval is the DTM sampling period in cycles.
+	Interval uint64 `json:"interval,omitempty"`
+	// Stride is the configured thermal stride (0 = auto-selected).
+	Stride uint64 `json:"stride,omitempty"`
+	// Insts is the committed-instruction budget.
+	Insts uint64 `json:"insts,omitempty"`
+	// Cores is the core count (always 1 for Sim; multicore runs set it
+	// when flattened into the catalog).
+	Cores int `json:"cores,omitempty"`
+}
+
 // Result is the outcome of a run.
 type Result struct {
 	Benchmark string
 	Policy    string
+
+	// Dims are the run's sweep-space coordinates (see RunDims).
+	Dims RunDims
 
 	// SinkDrift is the net heatsink temperature change over the run
 	// (nonzero only with CoupleChipSink).
@@ -222,6 +250,42 @@ func (r *Result) StressFrac() float64 {
 		return 0
 	}
 	return float64(r.StressCycles) / float64(r.Cycles)
+}
+
+// runDims flattens cfg's sweep coordinates. The primary policy (the
+// hierarchy's primary, else the manager's) supplies trigger and gains; a
+// standalone or backup Scaling supplies the trigger when nothing else did.
+func runDims(cfg Config) RunDims {
+	d := RunDims{Stride: cfg.ThermalStride, Insts: cfg.MaxInsts, Cores: 1}
+	var pol dtm.Policy
+	switch {
+	case cfg.Hierarchy != nil:
+		pol = cfg.Hierarchy.Primary
+		d.Interval = dtm.DefaultSampleInterval
+	case cfg.Manager != nil:
+		pol = cfg.Manager.Policy
+		d.Interval = cfg.Manager.Interval
+	case cfg.Scaling != nil:
+		d.Interval = dtm.DefaultSampleInterval
+	}
+	switch p := pol.(type) {
+	case *dtm.Toggle:
+		d.Trigger = p.Trigger
+	case *dtm.Manual:
+		d.Trigger = p.High
+	case *dtm.CT:
+		ctl := p.Controller()
+		d.Trigger = ctl.Setpoint
+		d.Kp = ctl.Kp
+		d.Ki = ctl.Ki
+	case *dtm.AdaptiveGain:
+		d.Trigger = p.Setpoint
+		d.Ki = p.KiLow
+	}
+	if d.Trigger == 0 && cfg.Scaling != nil {
+		d.Trigger = cfg.Scaling.Trigger
+	}
+	return d
 }
 
 // InstsPerSecond returns committed instructions per wall-clock second —
@@ -466,6 +530,7 @@ func newWith(cfg Config, gen *workload.Generator, core *pipeline.Core, pmodel *p
 	res := &Result{
 		Benchmark: cfg.Workload.Name,
 		Policy:    policyName,
+		Dims:      runDims(cfg),
 		Blocks:    make([]BlockResult, nblk),
 	}
 	for i := range res.Blocks {

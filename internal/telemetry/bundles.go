@@ -276,3 +276,31 @@ func NewRunnerMetrics(r *Registry) *RunnerMetrics {
 		RunSeconds:    r.Histogram("runner_run_seconds", "Per-job wall time.", RunSecondsBuckets),
 	}
 }
+
+// IndexMetrics is the run catalog's bundle: ingest and query activity
+// counters, recovery accounting (cold rebuilds and quarantined log
+// frames), and the live record-count gauge. All handles are
+// pre-registered so catalog hot paths stay allocation-free per the
+// repository gate.
+type IndexMetrics struct {
+	Ingested    *Counter
+	Duplicates  *Counter
+	Queries     *Counter
+	RangeScans  *Counter
+	Rebuilds    *Counter
+	Quarantined *Counter
+	Records     *Gauge
+}
+
+// NewIndexMetrics registers (or reuses) the run-catalog metric family on r.
+func NewIndexMetrics(r *Registry) *IndexMetrics {
+	return &IndexMetrics{
+		Ingested:    r.Counter("runindex_ingested_total", "Run records ingested into the catalog."),
+		Duplicates:  r.Counter("runindex_duplicates_total", "Ingests skipped because the key was already cataloged."),
+		Queries:     r.Counter("runindex_queries_total", "Catalog queries executed."),
+		RangeScans:  r.Counter("runindex_range_scans_total", "Queries answered by a B+-tree range scan."),
+		Rebuilds:    r.Counter("runindex_rebuilds_total", "Cold rebuilds of the catalog from a pack-store scan."),
+		Quarantined: r.Counter("runindex_quarantined_total", "Catalog log frames dropped as corrupt during replay."),
+		Records:     r.Gauge("runindex_records", "Records currently held by the catalog."),
+	}
+}

@@ -14,6 +14,9 @@
 #   - the restarted worker is marked back up (log line + /healthz)
 #   - loadgen -check passes against the coordinator, and against the raw
 #     worker list (multi-target round-robin)
+#   - the coordinator answers a /query range scan merged across both pack
+#     workers' catalogs (more rows than either worker holds alone)
+#   - a repeated `sweep -fill` run dispatches zero cold cells
 set -euo pipefail
 
 P0="${CLUSTER_SMOKE_PORT:-8750}"   # coordinator
@@ -189,5 +192,40 @@ wait_healthy "${W3}" "rebuilt pack worker"
 curl -fsS "${W3}/run?bench=gcc&policy=PI&insts=100000" >/dev/null || {
   echo "rebuilt pack worker cannot serve"; exit 1; }
 
+echo "== run catalog: coordinator merges a /query range scan across both workers"
+count_of() { grep -m1 '"count"' "$1" | tr -dc '0-9'; }
+curl -fsS "${C}/query?trigger=100:120&insts=400000" >"${DIR}/query_merge.json"
+grep -q '"workers": 2' "${DIR}/query_merge.json" || {
+  echo "range query not answered by both workers:";
+  head -c 400 "${DIR}/query_merge.json"; exit 1; }
+curl -fsS "${W3}/query?trigger=100:120&insts=400000" >"${DIR}/query_w3.json"
+curl -fsS "${W4}/query?trigger=100:120&insts=400000" >"${DIR}/query_w4.json"
+CN=$(count_of "${DIR}/query_merge.json")
+C3=$(count_of "${DIR}/query_w3.json")
+C4=$(count_of "${DIR}/query_w4.json")
+[ "${CN}" -gt 0 ] || { echo "merged range query returned no rows"; exit 1; }
+{ [ "${CN}" -gt "${C3}" ] && [ "${CN}" -gt "${C4}" ]; } || {
+  echo "merge (${CN} rows) does not span both workers (${C3} + ${C4})"; exit 1; }
+echo "range query merged ${CN} rows from workers holding ${C3} and ${C4}"
+# Malformed filters must fail fast at the coordinator, not fan out.
+QRC=$(curl -s -o /dev/null -w '%{http_code}' "${C}/query?trigger=banana")
+[ "${QRC}" = 400 ] || { echo "bad filter got ${QRC}, want 400"; exit 1; }
+
 kill -INT "${COORD_PID}" "${W3_PID}" "${W4_PID}" 2>/dev/null || true
+
+echo "== sweep -fill: a repeat run dispatches zero cold cells"
+go build -o "${DIR}/sweep" ./cmd/sweep
+"${DIR}/sweep" -param trigger -bench gcc -insts 100000 -fill \
+  -cache-dir "${DIR}/fillcache" -cache-pack >"${DIR}/fill1.csv" 2>"${DIR}/fill1.log"
+grep -q "dispatching 7 cold cells" "${DIR}/fill1.log" || {
+  echo "first fill pass did not dispatch the full grid:"; cat "${DIR}/fill1.log"; exit 1; }
+"${DIR}/sweep" -param trigger -bench gcc -insts 100000 -fill \
+  -cache-dir "${DIR}/fillcache" -cache-pack >"${DIR}/fill2.csv" 2>"${DIR}/fill2.log"
+grep -q "dispatching 0 cold cells" "${DIR}/fill2.log" || {
+  echo "repeat fill pass dispatched cells:"; cat "${DIR}/fill2.log"; exit 1; }
+cmp -s "${DIR}/fill1.csv" "${DIR}/fill2.csv" || {
+  echo "fill CSV not identical across passes:";
+  diff "${DIR}/fill1.csv" "${DIR}/fill2.csv"; exit 1; }
+echo "repeat fill dispatched 0 cells, CSV byte-identical"
+
 echo "cluster smoke OK"
